@@ -1,0 +1,74 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "graph/suite.hpp"
+#include "support/check.hpp"
+
+namespace speckle::bench {
+
+coloring::RunOptions BenchContext::run_options() const {
+  coloring::RunOptions opts;
+  opts.block_size = block;
+  opts.seed = seed;
+  if (denom > 1) opts.scale_caches(denom);
+  return opts;
+}
+
+BenchContext parse_context(int argc, char** argv,
+                           const std::vector<std::string>& extra_known) {
+  support::Options opts(argc, argv);
+  BenchContext ctx;
+  ctx.denom = static_cast<std::uint32_t>(opts.get_int("denom", 8));
+  ctx.block = static_cast<std::uint32_t>(opts.get_int("block", 128));
+  ctx.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  ctx.csv = opts.get_bool("csv", false);
+
+  const std::string graphs = opts.get_string("graphs", "");
+  if (graphs.empty()) {
+    for (const auto& entry : graph::suite_entries()) ctx.graphs.push_back(entry.name);
+  } else {
+    std::stringstream ss(graphs);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      graph::suite_entry(name);  // aborts on unknown names
+      ctx.graphs.push_back(name);
+    }
+  }
+
+  std::vector<std::string> known = {"denom", "block", "seed", "csv", "graphs"};
+  known.insert(known.end(), extra_known.begin(), extra_known.end());
+  opts.validate(known);
+  return ctx;
+}
+
+const graph::CsrGraph& get_graph(const BenchContext& ctx, const std::string& name) {
+  static std::map<std::pair<std::string, std::uint32_t>, graph::CsrGraph> cache;
+  const auto key = std::make_pair(name, ctx.denom);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, graph::make_suite_graph(name, ctx.denom, ctx.seed * 0x5eed))
+             .first;
+  }
+  return it->second;
+}
+
+void print_banner(const std::string& title, const BenchContext& ctx) {
+  std::cout << "=== " << title << " ===\n"
+            << "scale: 1/" << ctx.denom << " of paper size (--denom=1 for full);"
+            << " block size " << ctx.block << "; simulated NVIDIA K20c vs."
+            << " modeled Xeon E5-2670\n\n";
+}
+
+void emit(const support::Table& table, const BenchContext& ctx) {
+  table.print(std::cout);
+  if (ctx.csv) {
+    std::cout << "\n--- csv ---\n";
+    table.print_csv(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace speckle::bench

@@ -1,0 +1,48 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared harness for the per-figure/per-table benchmark binaries.
+///
+/// Every bench accepts:
+///   --denom=N    vertex-count divisor vs. paper scale (default 8; 1 = full
+///                paper scale). Machine-model caches scale by the same
+///                factor so working-set/cache ratios match the paper.
+///   --graphs=a,b comma-separated subset of the Table I suite
+///   --block=N    thread-block size (default 128, the paper's choice)
+///   --seed=N     RNG seed for generators and algorithms
+///   --csv        emit CSV after the human-readable table
+
+#include <string>
+#include <vector>
+
+#include "coloring/runner.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace speckle::bench {
+
+struct BenchContext {
+  std::uint32_t denom = 8;
+  std::uint32_t block = 128;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  std::vector<std::string> graphs;  ///< suite names, Table I order
+
+  /// Run options with cache capacities scaled by `denom`.
+  coloring::RunOptions run_options() const;
+};
+
+/// Parse the shared flags; aborts on unknown options beyond `extra_known`.
+BenchContext parse_context(int argc, char** argv,
+                           const std::vector<std::string>& extra_known = {});
+
+/// Build (and memoize within the process) a suite graph at context scale.
+const graph::CsrGraph& get_graph(const BenchContext& ctx, const std::string& name);
+
+/// Print the bench banner: experiment id, scale, machine summary.
+void print_banner(const std::string& title, const BenchContext& ctx);
+
+/// Print the table and, if --csv, the CSV form.
+void emit(const support::Table& table, const BenchContext& ctx);
+
+}  // namespace speckle::bench

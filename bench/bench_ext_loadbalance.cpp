@@ -1,0 +1,49 @@
+/// \file bench_ext_loadbalance.cpp
+/// Extension experiment (paper Section III-A: "the data-driven
+/// implementation still suffers from load imbalance, since vertices may
+/// have different amounts of edges"): the warp-centric D-warp scheme versus
+/// thread-centric D-base. One warp cooperates on each vertex, so adjacency
+/// reads coalesce perfectly and an rmat-g hub no longer serializes one
+/// thread for hundreds of iterations.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/analysis.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace speckle;
+  using coloring::Scheme;
+  const bench::BenchContext ctx = bench::parse_context(argc, argv);
+  bench::print_banner("Extension: warp-centric load balancing (D-warp vs D-base)",
+                      ctx);
+
+  support::Table table({"graph", "deg variance", "D-base ms", "D-warp ms",
+                        "D-warp speedup", "D-base colors", "D-warp colors"});
+  std::vector<double> speedups;
+  const coloring::RunOptions opts = ctx.run_options();
+  for (const std::string& name : ctx.graphs) {
+    const graph::CsrGraph& g = bench::get_graph(ctx, name);
+    const auto deg = graph::analyze_degrees(g);
+    const auto base = run_scheme(Scheme::kDataBase, g, opts);
+    const auto warp = run_scheme(Scheme::kDataWarp, g, opts);
+    const double speedup = base.model_ms / warp.model_ms;
+    speedups.push_back(speedup);
+    table.row()
+        .cell(name)
+        .cell_f(deg.degree_variance, 1)
+        .cell_f(base.model_ms)
+        .cell_f(warp.model_ms)
+        .cell_ratio(speedup)
+        .cell_u64(base.num_colors)
+        .cell_u64(warp.num_colors);
+  }
+  table.row().cell("geomean").cell("-").cell("-").cell("-").cell_ratio(
+      support::geomean(speedups)).cell("-").cell("-");
+  bench::emit(table, ctx);
+  std::cout << "expected shape: D-warp wins grow with degree variance (rmat-g\n"
+               "most); on low-degree stencils the 32-lane strip-mining wastes\n"
+               "lanes and D-base stays ahead.\n";
+  return 0;
+}

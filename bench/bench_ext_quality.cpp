@@ -1,0 +1,51 @@
+/// \file bench_ext_quality.cpp
+/// Extension experiment: coloring-quality levers beyond the paper —
+///  (a) the largest-degree-first conflict tie-break (D-ldf, after
+///      Hasenplaugh et al.'s ordering heuristics), and
+///  (b) the color-balancing post-pass (after Gjertsen et al.'s PDR/PLF),
+/// both measured against D-base. Quality = color count; balance = largest
+/// class size over ideal (1.0 is perfect), which bounds chromatic-
+/// scheduling parallelism.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "coloring/balance.hpp"
+#include "coloring/refine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace speckle;
+  using coloring::Scheme;
+  const bench::BenchContext ctx = bench::parse_context(argc, argv);
+  bench::print_banner(
+      "Extension: quality levers (LDF tie-break, color balancing)", ctx);
+
+  support::Table table({"graph", "seq colors", "D-base colors", "D-ldf colors",
+                        "D-ldf ms penalty", "D-base+refine", "balance before",
+                        "balance after", "moves"});
+  const coloring::RunOptions opts = ctx.run_options();
+  for (const std::string& name : ctx.graphs) {
+    const graph::CsrGraph& g = bench::get_graph(ctx, name);
+    const auto seq = run_scheme(Scheme::kSequential, g, opts);
+    const auto base = run_scheme(Scheme::kDataBase, g, opts);
+    const auto ldf = run_scheme(Scheme::kDataLdf, g, opts);
+    const auto balanced = coloring::balance_colors(g, base.coloring);
+    const auto refined = coloring::iterated_greedy(g, base.coloring);
+    table.row()
+        .cell(name)
+        .cell_u64(seq.num_colors)
+        .cell_u64(base.num_colors)
+        .cell_u64(ldf.num_colors)
+        .cell_ratio(ldf.model_ms / base.model_ms)
+        .cell_u64(refined.colors_after)
+        .cell_f(balanced.balance_before)
+        .cell_f(balanced.balance_after)
+        .cell_u64(balanced.moves);
+  }
+  bench::emit(table, ctx);
+  std::cout << "expected shape: D-ldf matches or beats D-base's color count at\n"
+               "a small runtime penalty (degree loads in detection); iterated-\n"
+               "greedy refinement recovers speculation losses; balancing pushes\n"
+               "the largest class toward the ideal size without adding colors.\n";
+  return 0;
+}

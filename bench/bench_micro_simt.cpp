@@ -1,0 +1,97 @@
+/// \file bench_micro_simt.cpp
+/// google-benchmark micro-benchmarks for the SIMT simulator itself:
+/// simulation throughput for coalesced/scattered kernels, the scan-push
+/// primitive, and the cache model. These measure the *simulator's* host
+/// cost (simulated results are deterministic; see the fig benches for
+/// simulated metrics).
+
+#include <benchmark/benchmark.h>
+
+#include "simt/cache.hpp"
+#include "simt/device.hpp"
+#include "simt/worklist.hpp"
+
+namespace {
+
+using namespace speckle::simt;
+
+void BM_SimCoalescedCopy(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Device dev;
+    auto src = dev.alloc<std::uint32_t>(n);
+    auto dst = dev.alloc<std::uint32_t>(n);
+    dev.launch({.grid_blocks = n / 128, .block_threads = 128}, "copy",
+               [&](Thread& t) {
+                 const auto i = t.global_id();
+                 t.st(dst, i, t.ld(src, i));
+               });
+    benchmark::DoNotOptimize(dev.timeline_cycles());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SimCoalescedCopy)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SimScatteredGather(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Device dev;
+    auto idx = dev.alloc<std::uint32_t>(n);
+    auto dst = dev.alloc<std::uint32_t>(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = (i * 2654435761U) % n;
+    dev.launch({.grid_blocks = n / 128, .block_threads = 128}, "gather",
+               [&](Thread& t) {
+                 const auto i = t.global_id();
+                 t.st(dst, i, t.ld(idx, t.ld(idx, i)));
+               });
+    benchmark::DoNotOptimize(dev.timeline_cycles());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SimScatteredGather)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SimScanPush(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Device dev;
+    Worklist wl(dev, n);
+    dev.launch({.grid_blocks = n / 128, .block_threads = 128}, "push",
+               [&](Thread& t) {
+                 t.scan_push(wl, static_cast<std::uint32_t>(t.global_id()));
+               });
+    benchmark::DoNotOptimize(wl.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SimScanPush)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SimAtomicPush(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Device dev;
+    Worklist wl(dev, n);
+    dev.launch({.grid_blocks = n / 128, .block_threads = 128}, "apush",
+               [&](Thread& t) {
+                 const auto slot = t.atomic_add(wl.tail(), 0, 1U);
+                 t.st(wl.items(), slot, static_cast<std::uint32_t>(t.global_id()));
+               });
+    benchmark::DoNotOptimize(wl.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SimAtomicPush)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CacheModelAccess(benchmark::State& state) {
+  CacheModel cache(1280 * 1024, 128, 16);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr = (addr + 128 * 7919) % (1ULL << 30) / 128 * 128;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheModelAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

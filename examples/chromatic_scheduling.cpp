@@ -1,0 +1,112 @@
+/// \file chromatic_scheduling.cpp
+/// The paper's motivating application (Section I): using graph coloring to
+/// discover concurrency in sparse iterative solvers — here a Gauss–Seidel
+/// smoother for the 2-D Poisson problem, as in HPCG and ILU factorization.
+///
+/// Classic Gauss–Seidel is sequential: updating x[v] uses the freshest
+/// values of its neighbors. But vertices with the same color share no edge,
+/// so an entire color class can be updated in parallel (multi-color
+/// Gauss–Seidel). This example:
+///   1. builds the 5-point stencil graph of an N x N grid,
+///   2. colors it with the paper's best scheme (D-ldg) on the simulated GPU,
+///   3. runs a multi-color Gauss–Seidel sweep (OpenMP over each class) and
+///      checks it converges like the sequential sweep,
+///   4. reports the parallelism profile (class sizes = per-superstep width).
+///
+/// Usage: chromatic_scheduling [--n=256] [--sweeps=50] [--scheme=D-ldg]
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "coloring/runner.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+#include "support/options.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace speckle;
+using graph::CsrGraph;
+using graph::vid_t;
+
+/// One Gauss–Seidel sweep for -laplace(u) = b on the grid graph, visiting
+/// vertices in the order the schedule dictates. Returns the residual norm.
+double gs_sweep(const CsrGraph& g, const std::vector<double>& b,
+                std::vector<double>& x,
+                const std::vector<std::vector<vid_t>>& schedule) {
+  for (const auto& cls : schedule) {
+    // Vertices within a color class are independent: safe to parallelize.
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(cls.size()); ++i) {
+      const vid_t v = cls[static_cast<std::size_t>(i)];
+      double sum = b[v];
+      for (vid_t w : g.neighbors(v)) sum += x[w];
+      x[v] = sum / (g.degree(v) + 1.0);  // diagonally dominant Laplacian
+    }
+  }
+  double norm = 0.0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    double r = b[v] - (g.degree(v) + 1.0) * x[v];
+    for (vid_t w : g.neighbors(v)) r += x[w];
+    norm += r * r;
+  }
+  return std::sqrt(norm);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Options opts(argc, argv);
+  const auto n = static_cast<vid_t>(opts.get_int("n", 256));
+  const auto sweeps = static_cast<std::uint32_t>(opts.get_int("sweeps", 50));
+  const std::string scheme_name = opts.get_string("scheme", "D-ldg");
+  opts.validate({"n", "sweeps", "scheme"});
+
+  const CsrGraph g = graph::build_csr(n * n, graph::stencil2d(n, n));
+  std::cout << "grid " << n << "x" << n << ": " << g.num_vertices()
+            << " unknowns, " << g.num_edges() << " couplings\n";
+
+  // Color on the simulated GPU.
+  const auto scheme = coloring::scheme_from_name(scheme_name);
+  const coloring::RunResult colored = coloring::run_scheme(scheme, g, {});
+  std::cout << scheme_name << " coloring: " << colored.num_colors << " colors in "
+            << colored.model_ms << " ms (simulated)\n";
+
+  // Build the chromatic schedule: one superstep per color class.
+  std::vector<std::vector<vid_t>> schedule(colored.num_colors);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    schedule[colored.coloring[v] - 1].push_back(v);
+  }
+  std::cout << "parallelism per superstep:";
+  for (const auto& cls : schedule) std::cout << ' ' << cls.size();
+  std::cout << " (ideal " << g.num_vertices() / colored.num_colors << ")\n";
+
+  // Solve with the chromatic schedule and with the sequential order.
+  std::vector<double> b(g.num_vertices(), 1.0);
+  std::vector<double> x_color(g.num_vertices(), 0.0);
+  std::vector<double> x_seq(g.num_vertices(), 0.0);
+  std::vector<std::vector<vid_t>> seq_schedule(1);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) seq_schedule[0].push_back(v);
+
+  double res_color = 0.0, res_seq = 0.0;
+  support::Timer timer;
+  for (std::uint32_t s = 0; s < sweeps; ++s) res_color = gs_sweep(g, b, x_color, schedule);
+  const double ms_color = timer.milliseconds();
+  timer.reset();
+  for (std::uint32_t s = 0; s < sweeps; ++s) res_seq = gs_sweep(g, b, x_seq, seq_schedule);
+  const double ms_seq = timer.milliseconds();
+
+  std::cout << "after " << sweeps << " sweeps: residual (chromatic) = " << res_color
+            << ", residual (sequential) = " << res_seq << "\n"
+            << "wall time: chromatic " << ms_color << " ms vs sequential " << ms_seq
+            << " ms (gap depends on host core count)\n";
+
+  // Multi-color GS must converge at essentially the sequential rate.
+  SPECKLE_CHECK(res_color < 1e-6 || res_color < 2.0 * res_seq + 1e-9,
+                "chromatic schedule failed to converge comparably");
+  std::cout << "chromatic schedule converges comparably: OK\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// \file jacobian_compression.cpp
+/// Sparse Jacobian compression by graph coloring (the Curtis–Powell–Reid
+/// method; paper Section II's sparse-matrix application family).
+///
+/// To estimate a sparse Jacobian J with finite differences, structurally
+/// orthogonal columns (no shared nonzero row) can be evaluated with ONE
+/// forward difference: J * d for a seed vector d that sums the group's
+/// unit vectors. Structurally orthogonal groups are exactly the color
+/// classes of the *column intersection graph* — two columns adjacent iff
+/// some row contains both. This example:
+///   1. synthesizes a random sparse m x n function sparsity pattern,
+///   2. builds the column intersection graph,
+///   3. colors it on the simulated GPU,
+///   4. reports the compression: n function evaluations -> num_colors,
+///   5. verifies group orthogonality directly against the pattern.
+///
+/// Usage: jacobian_compression [--rows=4000] [--cols=3000] [--nnz-per-row=5]
+///                             [--scheme=D-base] [--seed=3]
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "coloring/partial_d2.hpp"
+#include "coloring/runner.hpp"
+#include "graph/bipartite.hpp"
+#include "support/check.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace speckle;
+  using graph::vid_t;
+  support::Options opts(argc, argv);
+  const auto rows = static_cast<vid_t>(opts.get_int("rows", 4000));
+  const auto cols = static_cast<vid_t>(opts.get_int("cols", 3000));
+  const auto nnz_per_row = static_cast<vid_t>(opts.get_int("nnz-per-row", 5));
+  const std::string scheme_name = opts.get_string("scheme", "D-base");
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 3));
+  opts.validate({"rows", "cols", "nnz-per-row", "scheme", "seed"});
+
+  // 1. Sparsity pattern: each row touches nnz_per_row random columns.
+  const graph::SparsePattern pattern =
+      graph::random_pattern(rows, cols, nnz_per_row, seed);
+
+  // 2. Column intersection graph: columns adjacent iff they share a row.
+  const graph::CsrGraph g = graph::column_intersection_graph(pattern);
+  std::cout << "pattern: " << rows << "x" << cols << ", column intersection graph "
+            << g.num_edges() / 2 << " edges, max column degree " << g.max_degree()
+            << "\n";
+
+  // 3. Color on the simulated GPU.
+  const auto scheme = coloring::scheme_from_name(scheme_name);
+  const coloring::RunResult r = coloring::run_scheme(scheme, g, {});
+
+  // 4. Compression report.
+  std::cout << scheme_name << ": " << r.num_colors << " structurally orthogonal "
+            << "groups (" << r.model_ms << " ms simulated)\n"
+            << "Jacobian estimation cost: " << cols
+            << " evaluations uncompressed -> " << r.num_colors
+            << " with seeds (" << static_cast<double>(cols) / r.num_colors
+            << "x compression)\n";
+
+  // 5. Verify directly against the pattern (not just the graph): within a
+  // row, no two columns share a group — and cross-check with the direct
+  // partial distance-2 greedy, which colors the pattern without ever
+  // materializing the intersection graph.
+  SPECKLE_CHECK(coloring::verify_partial_d2(pattern, r.coloring).proper,
+                "two columns of one row landed in the same group");
+  const auto direct = coloring::partial_d2_greedy(pattern);
+  std::cout << "orthogonality check over all " << rows << " rows: OK\n"
+            << "direct partial-D2 greedy (no intersection graph): "
+            << direct.num_colors << " groups\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "coloring/coloring.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace speckle::coloring {
+
+std::string VerifyResult::to_string() const {
+  std::ostringstream oss;
+  oss << (proper ? "proper" : "IMPROPER") << " coloring: " << num_colors
+      << " colors, " << uncolored << " uncolored, " << conflicts << " conflicts";
+  return oss.str();
+}
+
+VerifyResult verify_coloring(const graph::CsrGraph& g, const Coloring& coloring) {
+  SPECKLE_CHECK(coloring.size() == g.num_vertices(),
+                "coloring size must match vertex count");
+  VerifyResult result;
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (coloring[v] == kUncolored) {
+      ++result.uncolored;
+      continue;
+    }
+    result.num_colors = std::max(result.num_colors, coloring[v]);
+    for (graph::vid_t w : g.neighbors(v)) {
+      if (coloring[v] == coloring[w]) ++result.conflicts;
+    }
+  }
+  // Each conflicting edge was seen from both endpoints.
+  result.conflicts /= 2;
+  result.proper = result.uncolored == 0 && result.conflicts == 0;
+  return result;
+}
+
+color_t count_colors(const Coloring& coloring) {
+  color_t max_color = 0;
+  for (color_t c : coloring) max_color = std::max(max_color, c);
+  return max_color;
+}
+
+std::vector<graph::vid_t> color_histogram(const Coloring& coloring) {
+  std::vector<graph::vid_t> histogram(count_colors(coloring) + 1, 0);
+  for (color_t c : coloring) ++histogram[c];
+  return histogram;
+}
+
+double color_balance(const Coloring& coloring) {
+  const color_t k = count_colors(coloring);
+  if (k == 0 || coloring.empty()) return 1.0;
+  const auto histogram = color_histogram(coloring);
+  graph::vid_t largest = 0;
+  for (color_t c = 1; c <= k; ++c) largest = std::max(largest, histogram[c]);
+  const double ideal = static_cast<double>(coloring.size()) / k;
+  return static_cast<double>(largest) / ideal;
+}
+
+}  // namespace speckle::coloring

@@ -1,0 +1,45 @@
+#pragma once
+/// \file coloring.hpp
+/// Common vertex-coloring types, validation, and quality metrics.
+///
+/// A coloring assigns each vertex a color in [1, k]; 0 means "not colored
+/// yet". A coloring is *proper* when no edge joins two vertices of the same
+/// color — the invariant every algorithm in this library must establish and
+/// every test checks via verify_coloring().
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace speckle::coloring {
+
+using color_t = std::uint32_t;
+inline constexpr color_t kUncolored = 0;
+
+using Coloring = std::vector<color_t>;
+
+/// Outcome of validating a coloring against its graph.
+struct VerifyResult {
+  bool proper = false;           ///< every vertex colored, no conflicting edge
+  graph::vid_t uncolored = 0;    ///< vertices still at kUncolored
+  std::uint64_t conflicts = 0;   ///< edges with equal endpoint colors
+  color_t num_colors = 0;        ///< max color used
+  std::string to_string() const;
+};
+
+/// Full validation pass over all edges. O(n + m).
+VerifyResult verify_coloring(const graph::CsrGraph& g, const Coloring& coloring);
+
+/// Highest color used (0 for an empty/uncolored graph).
+color_t count_colors(const Coloring& coloring);
+
+/// Histogram of class sizes, indexed by color (entry 0 = uncolored count).
+std::vector<graph::vid_t> color_histogram(const Coloring& coloring);
+
+/// Balance metric: largest class size divided by the ideal n/k (1.0 is
+/// perfectly balanced). Used by the color-balancing extension.
+double color_balance(const Coloring& coloring);
+
+}  // namespace speckle::coloring

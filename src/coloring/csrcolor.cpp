@@ -1,0 +1,173 @@
+#include "coloring/csrcolor.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace speckle::coloring {
+
+using graph::eid_t;
+using graph::vid_t;
+
+std::uint64_t csrcolor_hash(std::uint64_t seed, std::uint32_t hash_index, vid_t v) {
+  return support::mix64(seed ^ (static_cast<std::uint64_t>(hash_index + 1) << 40) ^ v);
+}
+
+namespace {
+
+/// Ordering used for local-extremum tests: strict, total (ties by id).
+bool hash_less(std::uint64_t ha, vid_t a, std::uint64_t hb, vid_t b) {
+  return ha != hb ? ha < hb : a < b;
+}
+
+}  // namespace
+
+CsrColorCpuResult csrcolor_cpu(const graph::CsrGraph& g, const CsrColorOptions& opts) {
+  const vid_t n = g.num_vertices();
+  const color_t sets_per_hash = opts.use_min_sets ? 2 : 1;
+  CsrColorCpuResult result;
+  result.coloring.assign(n, kUncolored);
+  vid_t remaining = n;
+  color_t base = 0;  // colors base+1 .. base+2N assigned this pass
+
+  while (remaining > 0) {
+    ++result.passes;
+    SPECKLE_CHECK(result.passes <= 10000, "csrcolor_cpu failed to converge");
+    // Snapshot of who was uncolored at pass start: extremum tests must use
+    // a consistent view or two neighbors could both claim the same set.
+    std::vector<std::uint8_t> uncolored(n);
+    for (vid_t v = 0; v < n; ++v) uncolored[v] = result.coloring[v] == kUncolored;
+
+    for (vid_t v = 0; v < n; ++v) {
+      if (!uncolored[v]) continue;
+      for (std::uint32_t k = 0; k < opts.num_hashes; ++k) {
+        const std::uint64_t hv = csrcolor_hash(opts.seed, k, v);
+        bool is_max = true;
+        bool is_min = true;
+        for (vid_t w : g.neighbors(v)) {
+          if (!uncolored[w]) continue;
+          const std::uint64_t hw = csrcolor_hash(opts.seed, k, w);
+          if (hash_less(hv, v, hw, w)) is_max = false;
+          if (hash_less(hw, w, hv, v)) is_min = false;
+          if (!is_max && !is_min) break;
+        }
+        if (is_max) {
+          result.coloring[v] = base + sets_per_hash * k + 1;
+          --remaining;
+          break;
+        }
+        if (opts.use_min_sets && is_min) {
+          result.coloring[v] = base + sets_per_hash * k + 2;
+          --remaining;
+          break;
+        }
+      }
+    }
+    base += sets_per_hash * opts.num_hashes;
+  }
+  result.num_colors = count_colors(result.coloring);
+  return result;
+}
+
+GpuResult csrcolor(const graph::CsrGraph& g, const CsrColorOptions& opts) {
+  support::Timer wall;
+  const vid_t n = g.num_vertices();
+  GpuResult result;
+  if (n == 0) return result;
+
+  simt::Device dev(opts.device);
+  DeviceGraph dg = upload_graph(dev, g);
+  auto colors = dev.alloc<std::uint32_t>(n);
+  colors.fill(kUncolored);
+  // Pass-start snapshot of the uncolored predicate (the real implementation
+  // tests color[w] == 0 against the pass-start color array; keeping an
+  // explicit snapshot buffer models the same traffic).
+  auto uncolored = dev.alloc<std::uint32_t>(n);
+  auto counter = dev.alloc<std::uint32_t>(1);
+
+  const simt::LaunchConfig cfg{(n + opts.block_size - 1) / opts.block_size,
+                               opts.block_size};
+  const color_t sets_per_hash = opts.use_min_sets ? 2 : 1;
+  vid_t remaining = n;
+  color_t base = 0;
+
+  while (remaining > 0) {
+    SPECKLE_CHECK(result.iterations < opts.max_iterations,
+                  "csrcolor exceeded max_iterations");
+    ++result.iterations;
+
+    // Snapshot kernel: uncolored[v] = (color[v] == 0). Coalesced streams.
+    dev.launch(cfg, "csrcolor_snapshot", [&](simt::Thread& t) {
+      const auto v = static_cast<vid_t>(t.global_id());
+      if (v >= n) return;
+      const color_t c = t.ld(colors, v);
+      t.compute(2);
+      t.st(uncolored, v, c == kUncolored ? 1U : 0U);
+    });
+
+    // MIS kernel: join the first of the 2N sets whose extremum test passes.
+    dev.launch(cfg, "csrcolor_mis", [&](simt::Thread& t) {
+      const auto v = static_cast<vid_t>(t.global_id());
+      if (v >= n) return;
+      t.compute(2);
+      if (t.ld(uncolored, v) == 0) return;
+      const eid_t begin = opts.use_ldg ? t.ldg(dg.row, v) : t.ld(dg.row, v);
+      const eid_t end = opts.use_ldg ? t.ldg(dg.row, v + 1) : t.ld(dg.row, v + 1);
+      t.compute(2);
+      for (std::uint32_t k = 0; k < opts.num_hashes; ++k) {
+        const std::uint64_t hv = csrcolor_hash(opts.seed, k, v);
+        t.compute(6);  // hash evaluation
+        bool is_max = true;
+        bool is_min = true;
+        for (eid_t e = begin; e < end; ++e) {
+          const vid_t w = opts.use_ldg ? t.ldg(dg.col, e) : t.ld(dg.col, e);
+          if (t.ld(uncolored, w) == 0) {
+            t.compute(2);
+            continue;
+          }
+          const std::uint64_t hw = csrcolor_hash(opts.seed, k, w);
+          t.compute(8);  // hash + two comparisons
+          if (hash_less(hv, v, hw, w)) is_max = false;
+          if (hash_less(hw, w, hv, v)) is_min = false;
+          if (!is_max && !is_min) break;
+        }
+        t.compute(2);
+        if (is_max) {
+          t.st(colors, v, base + sets_per_hash * k + 1);
+          return;
+        }
+        if (opts.use_min_sets && is_min) {
+          t.st(colors, v, base + sets_per_hash * k + 2);
+          return;
+        }
+      }
+    });
+
+    // Remaining-count reduction (thrust::count in the real code): one
+    // coalesced pass over colors, one atomic per block.
+    counter[0] = 0;
+    dev.launch(cfg, "csrcolor_count", [&](simt::Thread& t) {
+      const auto v = static_cast<vid_t>(t.global_id());
+      if (v >= n) return;
+      t.ld(colors, v);
+      t.compute(2);
+      if (t.thread_in_block() == 0) t.atomic_add(counter, 0, 1U);
+    });
+    dev.copy_to_host(sizeof(std::uint32_t));  // read the count
+
+    remaining = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (colors[v] == kUncolored) ++remaining;
+    }
+    base += sets_per_hash * opts.num_hashes;
+  }
+
+  result.coloring.assign(colors.host().begin(), colors.host().end());
+  result.num_colors = count_colors(result.coloring);
+  result.report = dev.report();
+  result.model_ms = dev.report().ms(dev.config());
+  result.wall_ms = wall.milliseconds();
+  return result;
+}
+
+}  // namespace speckle::coloring

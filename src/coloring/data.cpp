@@ -1,0 +1,83 @@
+#include "coloring/data.hpp"
+
+#include "simt/worklist.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace speckle::coloring {
+
+using graph::vid_t;
+
+GpuResult data_color(const graph::CsrGraph& g, const DataOptions& opts) {
+  support::Timer wall;
+  const vid_t n = g.num_vertices();
+  GpuResult result;
+  if (n == 0) return result;
+
+  simt::Device dev(opts.device);
+  DeviceGraph dg = upload_graph(dev, g);
+  auto colors = dev.alloc<std::uint32_t>(n);
+  colors.fill(kUncolored);
+
+  // Double-buffered worklists (Algorithm 5 line 19): swapped by pointer.
+  simt::Worklist list_a(dev, n);
+  simt::Worklist list_b(dev, n);
+  simt::Worklist* w_in = &list_a;
+  simt::Worklist* w_out = &list_b;
+  w_in->fill_iota(n);  // W_in <- V
+
+  while (!w_in->empty()) {
+    SPECKLE_CHECK(result.iterations < opts.max_iterations,
+                  "data_color exceeded max_iterations");
+    ++result.iterations;
+    const std::uint32_t count = w_in->size();
+    const simt::LaunchConfig cfg{(count + opts.block_size - 1) / opts.block_size,
+                                 opts.block_size};
+
+    // Lines 4-10: speculatively color every vertex in the worklist.
+    dev.launch(cfg, "data_color", [&](simt::Thread& t) {
+      const auto idx = t.global_id();
+      if (idx >= count) return;
+      t.compute(2);
+      const vid_t v = t.ld(w_in->items(), idx);
+      const color_t c = device_first_fit(t, dg, colors, v, opts.use_ldg);
+      t.st_racy(colors, v, c);
+    });
+
+    // Lines 11-18: detect conflicts among the just-colored vertices and
+    // compact the losers into the out-worklist. (The paper's listing scans
+    // all of V here; only same-round vertices can conflict, so scanning
+    // W_in is equivalent and is what keeps the scheme work-efficient —
+    // see DESIGN.md §6.)
+    w_out->clear();
+    dev.copy_to_device(sizeof(std::uint32_t));  // memset of the out tail
+    dev.launch(cfg, "data_detect", [&](simt::Thread& t) {
+      const auto idx = t.global_id();
+      if (idx >= count) return;
+      t.compute(2);
+      const vid_t v = t.ld(w_in->items(), idx);
+      const bool conflict = opts.ldf_tiebreak
+                                ? device_conflict_ldf(t, dg, colors, v, opts.use_ldg)
+                                : device_conflict(t, dg, colors, v, opts.use_ldg);
+      if (!conflict) return;
+      if (opts.scan_push) {
+        t.scan_push(*w_out, v);
+      } else {
+        const std::uint32_t slot = t.atomic_add(w_out->tail(), 0, 1U);
+        t.st(w_out->items(), slot, v);
+      }
+    });
+    dev.copy_to_host(sizeof(std::uint32_t));  // read |W_out|
+
+    std::swap(w_in, w_out);
+  }
+
+  result.coloring.assign(colors.host().begin(), colors.host().end());
+  result.num_colors = count_colors(result.coloring);
+  result.report = dev.report();
+  result.model_ms = dev.report().ms(dev.config());
+  result.wall_ms = wall.milliseconds();
+  return result;
+}
+
+}  // namespace speckle::coloring

@@ -1,0 +1,33 @@
+#pragma once
+/// \file data.hpp
+/// Algorithm 5: the data-driven GPU scheme (D-base / D-ldg) and its
+/// atomic-worklist ablation.
+///
+/// Threads are created in proportion to the worklist, so rounds after the
+/// first touch only the conflicted vertices — the work-efficiency the
+/// paper credits for the data-driven scheme's lead over topology-driven.
+/// Two double-buffered worklists are swapped by pointer each iteration
+/// (no copying). Conflicting vertices are compacted into the out-worklist
+/// either with the block-wide prefix-sum push (one tail atomic per block —
+/// the paper's optimization, Fig 5) or with one atomic per item (the
+/// baseline the optimization is measured against).
+
+#include "coloring/gpu_common.hpp"
+
+namespace speckle::coloring {
+
+struct DataOptions : GpuOptions {
+  /// true: prefix-sum (scan) push, one atomic per block (D-base/D-ldg);
+  /// false: per-item atomicAdd push (the "reduced atomic operations"
+  /// ablation baseline).
+  bool scan_push = true;
+  /// Extension (after Hasenplaugh et al.'s ordering heuristics): resolve
+  /// conflicts largest-degree-first — the lower-degree endpoint re-colors —
+  /// instead of by vertex id. High-degree vertices then keep their early,
+  /// low colors, which tends to reduce the total color count.
+  bool ldf_tiebreak = false;
+};
+
+GpuResult data_color(const graph::CsrGraph& g, const DataOptions& opts = {});
+
+}  // namespace speckle::coloring

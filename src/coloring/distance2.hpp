@@ -1,0 +1,39 @@
+#pragma once
+/// \file distance2.hpp
+/// Distance-2 vertex coloring (extension, after Çatalyürek et al. — the
+/// paper's reference [10] treats D1 and D2 coloring with the same
+/// speculative machinery).
+///
+/// A distance-2 coloring assigns distinct colors to any two vertices whose
+/// graph distance is at most 2. It is THE coloring used to compress sparse
+/// Jacobians/Hessians: structurally-orthogonal column groups of a sparse
+/// matrix are exactly the color classes of a D2 coloring of its column
+/// intersection structure.
+///
+/// Both a sequential greedy (colorMask over the two-hop neighborhood) and
+/// the GPU-sim speculative topology-driven scheme are provided; conflicts
+/// are detected over both hops with the id tie-break, so the same
+/// termination argument as Algorithm 4 applies.
+
+#include "coloring/gpu_common.hpp"
+
+namespace speckle::coloring {
+
+/// Validate a distance-2 coloring: every vertex colored, and no vertex
+/// shares a color with any neighbor or neighbor-of-neighbor. O(sum deg^2).
+VerifyResult verify_coloring_d2(const graph::CsrGraph& g, const Coloring& coloring);
+
+struct SeqD2Result {
+  Coloring coloring;
+  color_t num_colors = 0;
+  double wall_ms = 0.0;
+};
+
+/// Sequential greedy distance-2 coloring (first-fit over the two-hop
+/// neighborhood, vertex-stamped colorMask).
+SeqD2Result seq_greedy_d2(const graph::CsrGraph& g);
+
+/// Speculative topology-driven distance-2 coloring on the simulated GPU.
+GpuResult topo_color_d2(const graph::CsrGraph& g, const GpuOptions& opts = {});
+
+}  // namespace speckle::coloring

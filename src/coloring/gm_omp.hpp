@@ -1,0 +1,32 @@
+#pragma once
+/// \file gm_omp.hpp
+/// Algorithm 2: the Gebremedhin–Manne speculative greedy scheme as a real
+/// shared-memory OpenMP implementation (Çatalyürek et al.'s multicore
+/// formulation): color optimistically in parallel, then detect conflicts
+/// (`color[v] == color[w] && v < w`) and re-color the losers until the
+/// worklist drains. This is the CPU-parallel reference the paper's related
+/// work builds on; the GPU schemes in topo.hpp / data.hpp are its SIMT
+/// adaptations.
+
+#include <cstdint>
+
+#include "coloring/coloring.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace speckle::coloring {
+
+struct GmOmpOptions {
+  int num_threads = 0;  ///< 0 = OpenMP default
+};
+
+struct GmOmpResult {
+  Coloring coloring;
+  color_t num_colors = 0;
+  std::uint32_t rounds = 0;
+  std::uint64_t total_conflicts = 0;  ///< vertices re-queued over all rounds
+  double wall_ms = 0.0;
+};
+
+GmOmpResult gm_openmp(const graph::CsrGraph& g, const GmOmpOptions& opts = {});
+
+}  // namespace speckle::coloring

@@ -1,0 +1,79 @@
+#include "coloring/gpu_common.hpp"
+
+namespace speckle::coloring {
+
+using graph::eid_t;
+using graph::vid_t;
+
+DeviceGraph upload_graph(simt::Device& dev, const graph::CsrGraph& g) {
+  DeviceGraph dg;
+  dg.num_vertices = g.num_vertices();
+  dg.row = dev.alloc<eid_t>(g.num_vertices() + 1);
+  dg.col = dev.alloc<vid_t>(g.num_edges());
+  dg.row.copy_from(g.row_offsets());
+  dg.col.copy_from(g.col_indices());
+  return dg;
+}
+
+color_t device_first_fit(simt::Thread& t, const DeviceGraph& dg,
+                         simt::Buffer<std::uint32_t>& colors, vid_t v,
+                         bool use_ldg) {
+  const eid_t begin = use_ldg ? t.ldg(dg.row, v) : t.ld(dg.row, v);
+  const eid_t end = use_ldg ? t.ldg(dg.row, v + 1) : t.ld(dg.row, v + 1);
+  t.compute(2);
+  for (color_t base = 1;; base += 64) {
+    std::uint64_t forbidden = 0;
+    for (eid_t e = begin; e < end; ++e) {
+      const vid_t w = use_ldg ? t.ldg(dg.col, e) : t.ld(dg.col, e);
+      const color_t cw = t.ld(colors, w);
+      if (cw >= base && cw < base + 64) forbidden |= 1ULL << (cw - base);
+      t.compute(3);  // index arithmetic + range test + mask update
+    }
+    if (forbidden != ~0ULL) {
+      color_t offset = 0;
+      while (forbidden & (1ULL << offset)) ++offset;
+      t.compute(2 + offset / 8);  // ffs + return
+      return base + offset;
+    }
+    t.compute(2);  // window overflow: widen and rescan
+  }
+}
+
+bool device_conflict(simt::Thread& t, const DeviceGraph& dg,
+                     simt::Buffer<std::uint32_t>& colors, vid_t v, bool use_ldg) {
+  const eid_t begin = use_ldg ? t.ldg(dg.row, v) : t.ld(dg.row, v);
+  const eid_t end = use_ldg ? t.ldg(dg.row, v + 1) : t.ld(dg.row, v + 1);
+  const color_t cv = t.ld(colors, v);
+  t.compute(2);
+  for (eid_t e = begin; e < end; ++e) {
+    const vid_t w = use_ldg ? t.ldg(dg.col, e) : t.ld(dg.col, e);
+    const color_t cw = t.ld(colors, w);
+    t.compute(3);
+    if (cv == cw && v < w) return true;
+  }
+  return false;
+}
+
+bool device_conflict_ldf(simt::Thread& t, const DeviceGraph& dg,
+                         simt::Buffer<std::uint32_t>& colors, vid_t v,
+                         bool use_ldg) {
+  const eid_t begin = use_ldg ? t.ldg(dg.row, v) : t.ld(dg.row, v);
+  const eid_t end = use_ldg ? t.ldg(dg.row, v + 1) : t.ld(dg.row, v + 1);
+  const color_t cv = t.ld(colors, v);
+  const eid_t deg_v = end - begin;
+  t.compute(3);
+  for (eid_t e = begin; e < end; ++e) {
+    const vid_t w = use_ldg ? t.ldg(dg.col, e) : t.ld(dg.col, e);
+    const color_t cw = t.ld(colors, w);
+    t.compute(3);
+    if (cv != cw) continue;
+    const eid_t w_begin = use_ldg ? t.ldg(dg.row, w) : t.ld(dg.row, w);
+    const eid_t w_end = use_ldg ? t.ldg(dg.row, w + 1) : t.ld(dg.row, w + 1);
+    const eid_t deg_w = w_end - w_begin;
+    t.compute(3);
+    if (deg_v < deg_w || (deg_v == deg_w && v < w)) return true;
+  }
+  return false;
+}
+
+}  // namespace speckle::coloring

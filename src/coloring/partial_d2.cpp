@@ -1,0 +1,57 @@
+#include "coloring/partial_d2.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace speckle::coloring {
+
+using graph::vid_t;
+
+PartialD2Result partial_d2_greedy(const graph::SparsePattern& pattern) {
+  const vid_t n = pattern.num_cols();
+  PartialD2Result result;
+  result.coloring.assign(n, kUncolored);
+  std::vector<vid_t> color_mask(64, graph::kInvalidVertex);
+  for (vid_t j = 0; j < n; ++j) {
+    for (vid_t r : pattern.col(j)) {
+      for (vid_t other : pattern.row(r)) {
+        const color_t c = result.coloring[other];
+        if (c >= color_mask.size()) color_mask.resize(c + 64, graph::kInvalidVertex);
+        color_mask[c] = j;
+      }
+    }
+    color_t c = 1;
+    while (c < color_mask.size() && color_mask[c] == j) ++c;
+    result.coloring[j] = c;
+  }
+  result.num_colors = count_colors(result.coloring);
+  return result;
+}
+
+VerifyResult verify_partial_d2(const graph::SparsePattern& pattern,
+                               const Coloring& coloring) {
+  SPECKLE_CHECK(coloring.size() == pattern.num_cols(),
+                "coloring size must match column count");
+  VerifyResult result;
+  for (vid_t j = 0; j < pattern.num_cols(); ++j) {
+    if (coloring[j] == kUncolored) ++result.uncolored;
+    result.num_colors = std::max(result.num_colors, coloring[j]);
+  }
+  std::vector<vid_t> seen_by;  // per row: which column claimed each color
+  for (vid_t r = 0; r < pattern.num_rows(); ++r) {
+    const auto cols = pattern.row(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      for (std::size_t j = i + 1; j < cols.size(); ++j) {
+        if (coloring[cols[i]] != kUncolored &&
+            coloring[cols[i]] == coloring[cols[j]]) {
+          ++result.conflicts;
+        }
+      }
+    }
+  }
+  result.proper = result.uncolored == 0 && result.conflicts == 0;
+  return result;
+}
+
+}  // namespace speckle::coloring

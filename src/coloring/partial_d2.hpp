@@ -1,0 +1,32 @@
+#pragma once
+/// \file partial_d2.hpp
+/// Partial distance-2 coloring of a rectangular pattern's columns
+/// (Curtis–Powell–Reid / Coleman–Moré): columns sharing a nonzero row get
+/// distinct colors, making each color class structurally orthogonal — one
+/// matrix-vector probe recovers a whole class of Jacobian columns.
+///
+/// Equivalent to distance-1 coloring of the column intersection graph
+/// (bipartite.hpp), but computed directly on the pattern, which avoids
+/// materializing the (often much denser) intersection graph.
+
+#include "coloring/coloring.hpp"
+#include "graph/bipartite.hpp"
+
+namespace speckle::coloring {
+
+struct PartialD2Result {
+  Coloring coloring;  ///< one color per column
+  color_t num_colors = 0;
+};
+
+/// Greedy first-fit over the columns in natural order, scanning each
+/// column's rows' column lists (the two-hop neighborhood in the bipartite
+/// graph). Uses the vertex-stamped colorMask trick of Algorithm 1.
+PartialD2Result partial_d2_greedy(const graph::SparsePattern& pattern);
+
+/// Validate: every column colored, and no row contains two columns of the
+/// same color.
+VerifyResult verify_partial_d2(const graph::SparsePattern& pattern,
+                               const Coloring& coloring);
+
+}  // namespace speckle::coloring

@@ -1,0 +1,83 @@
+#include "coloring/seq_greedy.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace speckle::coloring {
+
+using graph::vid_t;
+
+SeqResult seq_greedy(const graph::CsrGraph& g, const SeqOptions& opts) {
+  const vid_t n = g.num_vertices();
+  SeqResult result;
+  result.coloring.assign(n, kUncolored);
+
+  const auto order = make_order(g, opts.ordering, opts.seed);
+
+  // colorMask[c] == v marks color c impermissible for the vertex currently
+  // being processed (Algorithm 1 line 4). First-fit never needs a color
+  // beyond max_degree + 1, and the sentinel kInvalidVertex is not a vertex.
+  std::vector<vid_t> color_mask(static_cast<std::size_t>(g.max_degree()) + 2,
+                                graph::kInvalidVertex);
+
+  std::optional<cpumodel::CpuModel> model;
+  if (opts.charge_model) model.emplace(opts.cpu);
+
+  support::Timer timer;
+  for (vid_t v : order) {
+    const auto adj = g.neighbors(v);
+    if (model) model->touch_read(&g.row_offsets()[v], 2 * sizeof(graph::eid_t));
+    for (vid_t w : adj) {
+      const color_t cw = result.coloring[w];
+      color_mask[cw] = v;
+      if (model) {
+        model->touch_read(&w, sizeof(vid_t));                  // C array entry
+        model->touch_read(&result.coloring[w], sizeof(color_t));
+        model->touch_write(&color_mask[cw], sizeof(vid_t));
+        model->compute(2);
+      }
+    }
+    color_t c = 1;
+    while (color_mask[c] == v) {
+      if (model) {
+        model->touch_read(&color_mask[c], sizeof(vid_t));
+        model->compute(1);
+      }
+      ++c;
+    }
+    if (model) model->touch_read(&color_mask[c], sizeof(vid_t));
+    result.coloring[v] = c;
+    if (model) {
+      model->touch_write(&result.coloring[v], sizeof(color_t));
+      model->compute(2);
+    }
+  }
+  result.wall_ms = timer.milliseconds();
+  result.num_colors = count_colors(result.coloring);
+  if (model) result.model_ms = model->ms();
+  return result;
+}
+
+color_t first_fit_color(const graph::CsrGraph& g, const Coloring& coloring,
+                        graph::vid_t v) {
+  SPECKLE_CHECK(coloring.size() == g.num_vertices(), "coloring size mismatch");
+  const auto adj = g.neighbors(v);
+  // Small-degree fast path: collect forbidden colors into a local bitset
+  // window, widening if the vertex needs a color beyond it.
+  for (color_t base = 1;; base += 64) {
+    std::uint64_t forbidden = 0;
+    for (vid_t w : adj) {
+      const color_t cw = coloring[w];
+      if (cw >= base && cw < base + 64) forbidden |= 1ULL << (cw - base);
+    }
+    if (forbidden != ~0ULL) {
+      color_t offset = 0;
+      while (forbidden & (1ULL << offset)) ++offset;
+      return base + offset;
+    }
+  }
+}
+
+}  // namespace speckle::coloring

@@ -1,0 +1,45 @@
+#pragma once
+/// \file seq_greedy.hpp
+/// Algorithm 1: the sequential greedy baseline every figure normalizes to.
+///
+/// Faithful to the paper's listing, including the colorMask vertex-stamp
+/// trick: impermissible colors are marked with the current vertex id rather
+/// than a boolean, so the mask never needs re-initialisation across the
+/// outer loop.
+///
+/// The run can be charged against the scalar CPU cost model (cpumodel) so
+/// simulated-GPU speedups have a deterministic, commensurable denominator;
+/// wall-clock time is measured as well.
+
+#include <cstdint>
+#include <optional>
+
+#include "coloring/coloring.hpp"
+#include "coloring/ordering.hpp"
+#include "cpumodel/cpu_model.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace speckle::coloring {
+
+struct SeqOptions {
+  Ordering ordering = Ordering::kFirstFit;
+  std::uint64_t seed = 1;      ///< for Ordering::kRandom
+  bool charge_model = true;    ///< charge loads/stores to the CPU cost model
+  cpumodel::CpuConfig cpu = cpumodel::CpuConfig::xeon_e5_2670();
+};
+
+struct SeqResult {
+  Coloring coloring;
+  color_t num_colors = 0;
+  double model_ms = 0.0;  ///< CPU-cost-model time (0 if charge_model false)
+  double wall_ms = 0.0;   ///< measured wall clock of the functional run
+};
+
+SeqResult seq_greedy(const graph::CsrGraph& g, const SeqOptions& opts = {});
+
+/// Greedy color a single vertex given the current colors of its neighbors
+/// (the first-fit rule both CPU resolvers reuse, e.g. 3-step GM's step 3).
+color_t first_fit_color(const graph::CsrGraph& g, const Coloring& coloring,
+                        graph::vid_t v);
+
+}  // namespace speckle::coloring

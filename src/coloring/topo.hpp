@@ -1,0 +1,19 @@
+#pragma once
+/// \file topo.hpp
+/// Algorithm 4: the topology-driven GPU scheme (T-base / T-ldg).
+///
+/// One thread per vertex, every iteration, whether or not the vertex still
+/// needs work — the straightforward GPU mapping. Each iteration launches
+/// two kernels: speculative first-fit coloring of the still-uncolored
+/// vertices, then conflict detection over the whole vertex set that
+/// un-colors the lower-id endpoint of every conflicting edge. A `changed`
+/// flag (reset by the host, read back each iteration) terminates the loop
+/// once a round colors nothing new.
+
+#include "coloring/gpu_common.hpp"
+
+namespace speckle::coloring {
+
+GpuResult topo_color(const graph::CsrGraph& g, const GpuOptions& opts = {});
+
+}  // namespace speckle::coloring

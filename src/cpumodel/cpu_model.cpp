@@ -1,0 +1,49 @@
+#include "cpumodel/cpu_model.hpp"
+
+namespace speckle::cpumodel {
+
+CpuConfig CpuConfig::scaled(std::uint32_t denom) const {
+  CpuConfig scaled = *this;
+  auto shrink = [&](std::uint64_t bytes, std::uint32_t ways) {
+    const std::uint64_t unit = static_cast<std::uint64_t>(line_bytes) * ways;
+    const std::uint64_t target = bytes / denom < unit ? unit : bytes / denom;
+    return target / unit * unit;
+  };
+  scaled.l1_bytes = shrink(l1_bytes, l1_ways);
+  scaled.l2_bytes = shrink(l2_bytes, l2_ways);
+  scaled.l3_bytes = shrink(l3_bytes, l3_ways);
+  return scaled;
+}
+
+CpuModel::CpuModel(CpuConfig config)
+    : config_(config),
+      l1_(config.l1_bytes, config.line_bytes, config.l1_ways),
+      l2_(config.l2_bytes, config.line_bytes, config.l2_ways),
+      l3_(config.l3_bytes, config.line_bytes, config.l3_ways) {}
+
+void CpuModel::touch(const void* p, std::size_t bytes) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uint64_t first = addr / config_.line_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / config_.line_bytes;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    const std::uint64_t line_addr = line * config_.line_bytes;
+    if (l1_.access(line_addr)) {
+      cycles_ += config_.l1_cost;
+    } else if (l2_.access(line_addr)) {
+      cycles_ += config_.l2_cost;
+    } else if (l3_.access(line_addr)) {
+      cycles_ += config_.l3_cost;
+    } else {
+      cycles_ += config_.dram_cost;
+      ++dram_accesses_;
+    }
+  }
+}
+
+void CpuModel::touch_read(const void* p, std::size_t bytes) { touch(p, bytes); }
+
+void CpuModel::touch_write(const void* p, std::size_t bytes) { touch(p, bytes); }
+
+void CpuModel::compute(std::uint32_t n) { cycles_ += n / config_.ipc; }
+
+}  // namespace speckle::cpumodel

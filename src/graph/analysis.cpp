@@ -1,0 +1,57 @@
+#include "graph/analysis.hpp"
+
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace speckle::graph {
+
+DegreeReport analyze_degrees(const CsrGraph& g) {
+  DegreeReport report;
+  report.num_vertices = g.num_vertices();
+  report.num_edges = g.num_edges();
+  support::Accumulator acc;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    acc.add(static_cast<double>(g.degree(v)));
+  }
+  const support::Summary s = acc.summary();
+  report.min_degree = static_cast<vid_t>(s.min);
+  report.max_degree = static_cast<vid_t>(s.max);
+  report.avg_degree = s.mean;
+  report.degree_variance = s.variance;
+  return report;
+}
+
+vid_t count_components(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<bool> visited(n, false);
+  std::vector<vid_t> stack;
+  vid_t components = 0;
+  for (vid_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    ++components;
+    visited[start] = true;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      vid_t v = stack.back();
+      stack.pop_back();
+      for (vid_t w : g.neighbors(v)) {
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+vid_t count_isolated(const CsrGraph& g) {
+  vid_t isolated = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) == 0) ++isolated;
+  }
+  return isolated;
+}
+
+}  // namespace speckle::graph

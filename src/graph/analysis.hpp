@@ -1,0 +1,30 @@
+#pragma once
+/// \file analysis.hpp
+/// Structural reports over CSR graphs — the columns of the paper's Table I.
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace speckle::graph {
+
+/// Degree statistics in Table I's layout: counts, min/max/avg degree and
+/// the population variance of the degree distribution.
+struct DegreeReport {
+  vid_t num_vertices = 0;
+  eid_t num_edges = 0;  ///< directed CSR entries, as the paper counts them
+  vid_t min_degree = 0;
+  vid_t max_degree = 0;
+  double avg_degree = 0.0;
+  double degree_variance = 0.0;
+};
+
+DegreeReport analyze_degrees(const CsrGraph& g);
+
+/// Number of connected components (BFS over the undirected structure).
+vid_t count_components(const CsrGraph& g);
+
+/// Number of isolated (degree-0) vertices.
+vid_t count_isolated(const CsrGraph& g);
+
+}  // namespace speckle::graph

@@ -1,0 +1,45 @@
+#include "graph/bfs.hpp"
+
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace speckle::graph {
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, vid_t source) {
+  SPECKLE_CHECK(source < g.num_vertices(), "bfs source out of range");
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::deque<vid_t> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const vid_t v = frontier.front();
+    frontier.pop_front();
+    for (vid_t w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<vid_t> neighborhood(const CsrGraph& g, vid_t source, std::uint32_t radius) {
+  const auto dist = bfs_distances(g, source);
+  std::vector<vid_t> result;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (v != source && dist[v] <= radius) result.push_back(v);
+  }
+  return result;
+}
+
+std::uint32_t eccentricity(const CsrGraph& g, vid_t source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable && d > ecc) ecc = d;
+  }
+  return ecc;
+}
+
+}  // namespace speckle::graph

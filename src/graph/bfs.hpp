@@ -1,0 +1,26 @@
+#pragma once
+/// \file bfs.hpp
+/// Breadth-first search utilities. Used by tests as an independent oracle
+/// (e.g. "no two vertices within distance 2 share a color" is checked
+/// against real BFS distances) and by the analysis tooling.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace speckle::graph {
+
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Hop distances from `source` to every vertex (kUnreachable if none).
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, vid_t source);
+
+/// All vertices within `radius` hops of `source`, excluding source itself.
+std::vector<vid_t> neighborhood(const CsrGraph& g, vid_t source, std::uint32_t radius);
+
+/// Eccentricity of `source` within its component (max finite distance).
+std::uint32_t eccentricity(const CsrGraph& g, vid_t source);
+
+}  // namespace speckle::graph

@@ -1,0 +1,71 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace speckle::graph {
+
+SparsePattern::SparsePattern(vid_t num_rows, vid_t num_cols,
+                             std::vector<Nonzero> entries)
+    : num_rows_(num_rows), num_cols_(num_cols) {
+  for (const Nonzero& nz : entries) {
+    SPECKLE_CHECK(nz.row < num_rows && nz.col < num_cols,
+                  "pattern entry out of range");
+  }
+  std::sort(entries.begin(), entries.end(), [](const Nonzero& a, const Nonzero& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const Nonzero& a, const Nonzero& b) {
+                              return a.row == b.row && a.col == b.col;
+                            }),
+                entries.end());
+
+  row_offsets_.assign(static_cast<std::size_t>(num_rows) + 1, 0);
+  for (const Nonzero& nz : entries) ++row_offsets_[nz.row + 1];
+  for (std::size_t i = 1; i < row_offsets_.size(); ++i) {
+    row_offsets_[i] += row_offsets_[i - 1];
+  }
+  row_entries_.resize(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) row_entries_[i] = entries[i].col;
+
+  // Transpose (counting sort by column).
+  col_offsets_.assign(static_cast<std::size_t>(num_cols) + 1, 0);
+  for (const Nonzero& nz : entries) ++col_offsets_[nz.col + 1];
+  for (std::size_t i = 1; i < col_offsets_.size(); ++i) {
+    col_offsets_[i] += col_offsets_[i - 1];
+  }
+  col_entries_.resize(entries.size());
+  std::vector<eid_t> cursor(col_offsets_.begin(), col_offsets_.end() - 1);
+  for (const Nonzero& nz : entries) col_entries_[cursor[nz.col]++] = nz.row;
+}
+
+CsrGraph column_intersection_graph(const SparsePattern& pattern) {
+  EdgeList edges;
+  for (vid_t r = 0; r < pattern.num_rows(); ++r) {
+    const auto cols = pattern.row(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      for (std::size_t j = i + 1; j < cols.size(); ++j) {
+        edges.push_back({cols[i], cols[j]});
+      }
+    }
+  }
+  return build_csr(pattern.num_cols(), std::move(edges));
+}
+
+SparsePattern random_pattern(vid_t num_rows, vid_t num_cols, vid_t nnz_per_row,
+                             std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<Nonzero> entries;
+  entries.reserve(static_cast<std::size_t>(num_rows) * nnz_per_row);
+  for (vid_t r = 0; r < num_rows; ++r) {
+    for (vid_t k = 0; k < nnz_per_row; ++k) {
+      entries.push_back({r, static_cast<vid_t>(rng.next_below(num_cols))});
+    }
+  }
+  return SparsePattern(num_rows, num_cols, std::move(entries));
+}
+
+}  // namespace speckle::graph

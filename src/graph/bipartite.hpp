@@ -1,0 +1,65 @@
+#pragma once
+/// \file bipartite.hpp
+/// Sparse rectangular patterns (bipartite row/column structure).
+///
+/// Jacobian compression colors the *columns* of a rectangular sparsity
+/// pattern so that columns sharing a nonzero row get distinct colors —
+/// a partial distance-2 coloring of the bipartite graph, equivalently a
+/// distance-1 coloring of the column intersection graph. This module holds
+/// the pattern container and the intersection-graph construction; the
+/// coloring itself lives in coloring/partial_d2.hpp.
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace speckle::graph {
+
+/// A nonzero position (row, col) of a rectangular pattern.
+struct Nonzero {
+  vid_t row;
+  vid_t col;
+};
+
+/// Immutable CSR-by-rows rectangular sparsity pattern with its transpose.
+class SparsePattern {
+ public:
+  /// Deduplicates entries; aborts on out-of-range indices.
+  SparsePattern(vid_t num_rows, vid_t num_cols, std::vector<Nonzero> entries);
+
+  vid_t num_rows() const { return num_rows_; }
+  vid_t num_cols() const { return num_cols_; }
+  std::size_t num_nonzeros() const { return row_entries_.size(); }
+
+  /// Columns with a nonzero in `row` (sorted).
+  std::span<const vid_t> row(vid_t row) const {
+    return {row_entries_.data() + row_offsets_[row],
+            row_entries_.data() + row_offsets_[row + 1]};
+  }
+  /// Rows with a nonzero in `col` (sorted).
+  std::span<const vid_t> col(vid_t col) const {
+    return {col_entries_.data() + col_offsets_[col],
+            col_entries_.data() + col_offsets_[col + 1]};
+  }
+
+ private:
+  vid_t num_rows_;
+  vid_t num_cols_;
+  std::vector<eid_t> row_offsets_;
+  std::vector<vid_t> row_entries_;
+  std::vector<eid_t> col_offsets_;
+  std::vector<vid_t> col_entries_;
+};
+
+/// The column intersection graph: columns adjacent iff they share a row.
+/// Its proper distance-1 colorings are exactly the pattern's valid partial
+/// distance-2 column colorings (structural orthogonality).
+CsrGraph column_intersection_graph(const SparsePattern& pattern);
+
+/// A random pattern: each row holds `nnz_per_row` uniform columns.
+SparsePattern random_pattern(vid_t num_rows, vid_t num_cols, vid_t nnz_per_row,
+                             std::uint64_t seed);
+
+}  // namespace speckle::graph

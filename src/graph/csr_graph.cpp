@@ -1,0 +1,50 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace speckle::graph {
+
+CsrGraph::CsrGraph() : row_offsets_{0} {}
+
+CsrGraph::CsrGraph(std::vector<eid_t> row_offsets, std::vector<vid_t> col_indices)
+    : row_offsets_(std::move(row_offsets)), col_indices_(std::move(col_indices)) {
+  SPECKLE_CHECK(!row_offsets_.empty(), "row_offsets must have n+1 entries");
+  SPECKLE_CHECK(row_offsets_.front() == 0, "row_offsets[0] must be 0");
+  SPECKLE_CHECK(row_offsets_.back() == col_indices_.size(),
+                "row_offsets[n] must equal the edge count");
+  const vid_t n = num_vertices();
+  for (std::size_t i = 1; i < row_offsets_.size(); ++i) {
+    SPECKLE_CHECK(row_offsets_[i - 1] <= row_offsets_[i],
+                  "row_offsets must be non-decreasing");
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t w : neighbors(v)) {
+      SPECKLE_CHECK(w < n, "column index out of range");
+      SPECKLE_CHECK(w != v, "self loop in CSR graph");
+    }
+  }
+}
+
+vid_t CsrGraph::max_degree() const {
+  vid_t best = 0;
+  for (vid_t v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool CsrGraph::has_edge(vid_t v, vid_t w) const {
+  auto adj = neighbors(v);
+  return std::binary_search(adj.begin(), adj.end(), w);
+}
+
+bool CsrGraph::is_symmetric() const {
+  for (vid_t v = 0; v < num_vertices(); ++v) {
+    for (vid_t w : neighbors(v)) {
+      if (!has_edge(w, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace speckle::graph

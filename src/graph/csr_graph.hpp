@@ -1,0 +1,63 @@
+#pragma once
+/// \file csr_graph.hpp
+/// Immutable compressed-sparse-row graph — the storage format the paper
+/// uses (Section III-C, Fig 2): a row-offsets array R of n+1 entries and a
+/// column-indices array C of m entries, adjacency lists concatenated.
+///
+/// Invariants (validated on construction):
+///   * R[0] == 0, R is non-decreasing, R[n] == C.size()
+///   * every column index < n
+///   * no self loops (coloring is defined on simple graphs)
+/// Symmetry (v in adj(w) iff w in adj(v)) is required by the coloring
+/// algorithms and checked by the builder, not per-construction (O(m log d)).
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace speckle::graph {
+
+class CsrGraph {
+ public:
+  /// Takes ownership of validated arrays. Aborts if invariants fail.
+  CsrGraph(std::vector<eid_t> row_offsets, std::vector<vid_t> col_indices);
+
+  /// Empty graph (0 vertices).
+  CsrGraph();
+
+  vid_t num_vertices() const { return static_cast<vid_t>(row_offsets_.size() - 1); }
+  eid_t num_edges() const { return static_cast<eid_t>(col_indices_.size()); }
+
+  std::span<const eid_t> row_offsets() const { return row_offsets_; }
+  std::span<const vid_t> col_indices() const { return col_indices_; }
+
+  /// Adjacency list of v (sorted ascending if built by Builder).
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {col_indices_.data() + row_offsets_[v],
+            col_indices_.data() + row_offsets_[v + 1]};
+  }
+
+  vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(row_offsets_[v + 1] - row_offsets_[v]);
+  }
+
+  vid_t max_degree() const;
+
+  /// True if every edge has its reverse edge (O(m log d) binary searches).
+  bool is_symmetric() const;
+
+  /// True if w appears in adj(v) (binary search; adjacency must be sorted).
+  bool has_edge(vid_t v, vid_t w) const;
+
+  /// Bytes occupied by the two CSR arrays (what gets copied to the device).
+  std::size_t byte_size() const {
+    return row_offsets_.size() * sizeof(eid_t) + col_indices_.size() * sizeof(vid_t);
+  }
+
+ private:
+  std::vector<eid_t> row_offsets_;
+  std::vector<vid_t> col_indices_;
+};
+
+}  // namespace speckle::graph

@@ -1,0 +1,255 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace speckle::graph {
+
+using support::Xoshiro256;
+
+EdgeList rmat(std::uint32_t scale, std::uint64_t num_edges, const RmatParams& params,
+              std::uint64_t seed) {
+  SPECKLE_CHECK(scale >= 1 && scale <= 31, "rmat scale must be in [1,31]");
+  const double sum = params.a + params.b + params.c + params.d;
+  SPECKLE_CHECK(std::abs(sum - 1.0) < 1e-6, "rmat parameters must sum to 1");
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    vid_t src = 0;
+    vid_t dst = 0;
+    double a = params.a, b = params.b, c = params.c, d = params.d;
+    for (std::uint32_t level = 0; level < scale; ++level) {
+      const double r = rng.next_double();
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        dst |= 1;
+      } else if (r < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+      if (params.noise > 0.0) {
+        // Jitter each quadrant probability by ±noise/2 and renormalize, as
+        // the reference R-MAT generator does to break self-similarity.
+        auto jitter = [&](double p) {
+          return p * (1.0 - params.noise / 2.0 + params.noise * rng.next_double());
+        };
+        a = jitter(a);
+        b = jitter(b);
+        c = jitter(c);
+        d = jitter(d);
+        const double total = a + b + c + d;
+        a /= total;
+        b /= total;
+        c /= total;
+        d /= total;
+      }
+    }
+    edges.push_back({src, dst});
+  }
+  return edges;
+}
+
+EdgeList erdos_renyi(vid_t num_vertices, std::uint64_t num_edges, std::uint64_t seed) {
+  SPECKLE_CHECK(num_vertices >= 2, "erdos_renyi needs at least 2 vertices");
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    vid_t src = static_cast<vid_t>(rng.next_below(num_vertices));
+    vid_t dst = static_cast<vid_t>(rng.next_below(num_vertices));
+    while (dst == src) dst = static_cast<vid_t>(rng.next_below(num_vertices));
+    edges.push_back({src, dst});
+  }
+  return edges;
+}
+
+EdgeList stencil2d(vid_t nx, vid_t ny) {
+  SPECKLE_CHECK(nx >= 1 && ny >= 1, "stencil2d needs positive dimensions");
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(nx) * ny * 2);
+  auto id = [nx](vid_t x, vid_t y) { return y * nx + x; };
+  for (vid_t y = 0; y < ny; ++y) {
+    for (vid_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) edges.push_back({id(x, y), id(x + 1, y)});
+      if (y + 1 < ny) edges.push_back({id(x, y), id(x, y + 1)});
+    }
+  }
+  return edges;
+}
+
+EdgeList stencil3d(vid_t nx, vid_t ny, vid_t nz) {
+  SPECKLE_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "stencil3d needs positive dimensions");
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(nx) * ny * nz * 3);
+  auto id = [nx, ny](vid_t x, vid_t y, vid_t z) { return (z * ny + y) * nx + x; };
+  for (vid_t z = 0; z < nz; ++z) {
+    for (vid_t y = 0; y < ny; ++y) {
+      for (vid_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx) edges.push_back({id(x, y, z), id(x + 1, y, z)});
+        if (y + 1 < ny) edges.push_back({id(x, y, z), id(x, y + 1, z)});
+        if (z + 1 < nz) edges.push_back({id(x, y, z), id(x, y, z + 1)});
+      }
+    }
+  }
+  return edges;
+}
+
+void add_local_defects(EdgeList& edges, vid_t num_vertices, double extra_per_vertex,
+                       vid_t window, std::uint64_t seed) {
+  SPECKLE_CHECK(window >= 1, "defect window must be >= 1");
+  Xoshiro256 rng(seed);
+  const auto extra =
+      static_cast<std::uint64_t>(extra_per_vertex * static_cast<double>(num_vertices));
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    vid_t v = static_cast<vid_t>(rng.next_below(num_vertices));
+    std::int64_t offset = rng.next_range(1, window);
+    if (rng.next_bool(0.5)) offset = -offset;
+    std::int64_t w = static_cast<std::int64_t>(v) + offset;
+    if (w < 0 || w >= static_cast<std::int64_t>(num_vertices) ||
+        w == static_cast<std::int64_t>(v)) {
+      continue;  // edge falls off the vertex range; skip rather than wrap
+    }
+    edges.push_back({v, static_cast<vid_t>(w)});
+  }
+}
+
+EdgeList local_random(vid_t num_vertices, vid_t deg_lo, vid_t deg_hi, vid_t window,
+                      std::uint64_t seed) {
+  SPECKLE_CHECK(deg_lo <= deg_hi, "local_random degree range inverted");
+  SPECKLE_CHECK(window >= 1, "local_random window must be >= 1");
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(num_vertices) * (deg_lo + deg_hi) / 2);
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    const auto target = static_cast<vid_t>(rng.next_range(deg_lo, deg_hi));
+    for (vid_t j = 0; j < target; ++j) {
+      std::int64_t offset = rng.next_range(1, window);
+      if (rng.next_bool(0.5)) offset = -offset;
+      std::int64_t w = static_cast<std::int64_t>(v) + offset;
+      if (w < 0 || w >= static_cast<std::int64_t>(num_vertices)) continue;
+      edges.push_back({v, static_cast<vid_t>(w)});
+    }
+  }
+  return edges;
+}
+
+EdgeList geometric(vid_t num_vertices, double radius, std::uint64_t seed) {
+  SPECKLE_CHECK(radius > 0.0 && radius < 1.0, "geometric radius must be in (0,1)");
+  Xoshiro256 rng(seed);
+  std::vector<double> xs(num_vertices), ys(num_vertices);
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    xs[v] = rng.next_double();
+    ys[v] = rng.next_double();
+  }
+  // Bucket points into a grid of radius-sized cells; only neighboring cells
+  // can contain points within `radius`, making this O(n) for sparse graphs.
+  const auto cells = static_cast<vid_t>(std::ceil(1.0 / radius));
+  std::vector<std::vector<vid_t>> grid(static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](vid_t v) {
+    auto cx = std::min<vid_t>(static_cast<vid_t>(xs[v] / radius), cells - 1);
+    auto cy = std::min<vid_t>(static_cast<vid_t>(ys[v] / radius), cells - 1);
+    return cy * cells + cx;
+  };
+  for (vid_t v = 0; v < num_vertices; ++v) grid[cell_of(v)].push_back(v);
+
+  EdgeList edges;
+  const double r2 = radius * radius;
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    const vid_t cx = std::min<vid_t>(static_cast<vid_t>(xs[v] / radius), cells - 1);
+    const vid_t cy = std::min<vid_t>(static_cast<vid_t>(ys[v] / radius), cells - 1);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+        const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (vid_t w : grid[static_cast<std::size_t>(ny) * cells + nx]) {
+          if (w <= v) continue;  // emit each pair once
+          const double ddx = xs[v] - xs[w];
+          const double ddy = ys[v] - ys[w];
+          if (ddx * ddx + ddy * ddy <= r2) edges.push_back({v, w});
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+EdgeList ring_lattice(vid_t num_vertices, vid_t k) {
+  SPECKLE_CHECK(num_vertices > 2 * k, "ring_lattice needs n > 2k");
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(num_vertices) * k);
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    for (vid_t j = 1; j <= k; ++j) {
+      edges.push_back({v, static_cast<vid_t>((v + j) % num_vertices)});
+    }
+  }
+  return edges;
+}
+
+EdgeList watts_strogatz(vid_t num_vertices, vid_t k, double beta, std::uint64_t seed) {
+  SPECKLE_CHECK(beta >= 0.0 && beta <= 1.0, "watts_strogatz beta must be in [0,1]");
+  EdgeList edges = ring_lattice(num_vertices, k);
+  Xoshiro256 rng(seed);
+  for (Edge& e : edges) {
+    if (!rng.next_bool(beta)) continue;
+    vid_t target = static_cast<vid_t>(rng.next_below(num_vertices));
+    while (target == e.src) target = static_cast<vid_t>(rng.next_below(num_vertices));
+    e.dst = target;
+  }
+  return edges;
+}
+
+EdgeList barabasi_albert(vid_t num_vertices, vid_t m, std::uint64_t seed) {
+  SPECKLE_CHECK(m >= 1 && num_vertices > m, "barabasi_albert needs n > m >= 1");
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(num_vertices) * m);
+  // `targets` holds one entry per edge endpoint, so sampling uniformly from
+  // it is sampling proportional to degree (the standard BA trick).
+  std::vector<vid_t> targets;
+  targets.reserve(2 * static_cast<std::size_t>(num_vertices) * m);
+  // Seed clique over the first m+1 vertices.
+  for (vid_t v = 0; v <= m; ++v) {
+    for (vid_t w = v + 1; w <= m; ++w) {
+      edges.push_back({v, w});
+      targets.push_back(v);
+      targets.push_back(w);
+    }
+  }
+  for (vid_t v = m + 1; v < num_vertices; ++v) {
+    std::vector<vid_t> chosen;
+    while (chosen.size() < m) {
+      const vid_t candidate = targets[rng.next_below(targets.size())];
+      if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (vid_t w : chosen) {
+      edges.push_back({v, w});
+      targets.push_back(v);
+      targets.push_back(w);
+    }
+  }
+  return edges;
+}
+
+EdgeList complete(vid_t num_vertices) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(num_vertices) * (num_vertices - 1) / 2);
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    for (vid_t w = v + 1; w < num_vertices; ++w) edges.push_back({v, w});
+  }
+  return edges;
+}
+
+}  // namespace speckle::graph

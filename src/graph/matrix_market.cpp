@@ -1,0 +1,104 @@
+#include "graph/matrix_market.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "support/check.hpp"
+
+namespace speckle::graph {
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+CsrGraph read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  SPECKLE_CHECK(in.good(), "cannot open matrix market file '" + path + "'");
+  return read_matrix_market(in, path);
+}
+
+CsrGraph read_matrix_market(std::istream& in, const std::string& name) {
+  std::string line;
+  SPECKLE_CHECK(static_cast<bool>(std::getline(in, line)), name + ": empty file");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  SPECKLE_CHECK(banner == "%%MatrixMarket", name + ": missing %%MatrixMarket banner");
+  SPECKLE_CHECK(lower(object) == "matrix", name + ": only 'matrix' objects supported");
+  SPECKLE_CHECK(lower(format) == "coordinate",
+                name + ": only 'coordinate' format supported");
+  field = lower(field);
+  const bool has_values = field != "pattern";
+  SPECKLE_CHECK(field == "pattern" || field == "real" || field == "integer" ||
+                    field == "complex",
+                name + ": unsupported field '" + field + "'");
+  symmetry = lower(symmetry);
+  SPECKLE_CHECK(symmetry == "general" || symmetry == "symmetric" ||
+                    symmetry == "skew-symmetric" || symmetry == "hermitian",
+                name + ": unsupported symmetry '" + symmetry + "'");
+
+  // Skip comments, read the size line.
+  std::uint64_t rows = 0, cols = 0, entries = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream size_line(line);
+    SPECKLE_CHECK(static_cast<bool>(size_line >> rows >> cols >> entries),
+                  name + ": malformed size line");
+    break;
+  }
+  SPECKLE_CHECK(rows > 0 && rows == cols,
+                name + ": coloring requires a square matrix");
+  SPECKLE_CHECK(rows <= kInvalidVertex, name + ": too many rows for 32-bit ids");
+
+  EdgeList edges;
+  edges.reserve(entries);
+  std::uint64_t seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    std::uint64_t r = 0, c = 0;
+    SPECKLE_CHECK(static_cast<bool>(entry >> r >> c),
+                  name + ": malformed entry line '" + line + "'");
+    if (has_values) {
+      // Values are present but irrelevant to structure; don't validate them
+      // beyond the indices (complex matrices carry two reals).
+    }
+    SPECKLE_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                  name + ": entry index out of range");
+    edges.push_back({static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1)});
+    ++seen;
+  }
+  SPECKLE_CHECK(seen == entries, name + ": fewer entries than the size line promised");
+  // build_csr symmetrizes (covers general *and* symmetric storage), removes
+  // the diagonal and duplicates.
+  return build_csr(static_cast<vid_t>(rows), std::move(edges));
+}
+
+void write_matrix_market(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  SPECKLE_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  write_matrix_market(g, out);
+}
+
+void write_matrix_market(const CsrGraph& g, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  std::uint64_t undirected = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (vid_t w : g.neighbors(v)) {
+      if (w < v) ++undirected;
+    }
+  }
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << undirected << '\n';
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (vid_t w : g.neighbors(v)) {
+      if (w < v) out << (v + 1) << ' ' << (w + 1) << '\n';
+    }
+  }
+}
+
+}  // namespace speckle::graph

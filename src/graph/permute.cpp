@@ -1,0 +1,38 @@
+#include "graph/permute.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace speckle::graph {
+
+CsrGraph permute(const CsrGraph& g, std::span<const vid_t> perm) {
+  const vid_t n = g.num_vertices();
+  SPECKLE_CHECK(perm.size() == n, "permutation size must equal vertex count");
+  std::vector<bool> seen(n, false);
+  for (vid_t p : perm) {
+    SPECKLE_CHECK(p < n && !seen[p], "perm is not a permutation of [0,n)");
+    seen[p] = true;
+  }
+  std::vector<eid_t> row_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) row_offsets[perm[v] + 1] = g.degree(v);
+  for (std::size_t i = 1; i < row_offsets.size(); ++i) {
+    row_offsets[i] += row_offsets[i - 1];
+  }
+  std::vector<vid_t> col_indices(g.num_edges());
+  for (vid_t v = 0; v < n; ++v) {
+    eid_t out = row_offsets[perm[v]];
+    for (vid_t w : g.neighbors(v)) col_indices[out++] = perm[w];
+    std::sort(col_indices.begin() + row_offsets[perm[v]], col_indices.begin() + out);
+  }
+  return CsrGraph(std::move(row_offsets), std::move(col_indices));
+}
+
+CsrGraph permute_random(const CsrGraph& g, std::uint64_t seed) {
+  auto perm = support::random_permutation(g.num_vertices(), seed);
+  return permute(g, perm);
+}
+
+}  // namespace speckle::graph

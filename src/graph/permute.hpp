@@ -1,0 +1,20 @@
+#pragma once
+/// \file permute.hpp
+/// Vertex relabeling. The paper deliberately does *no* reordering, but
+/// tests and the ordering heuristics need controlled relabelings to show
+/// that coloring quality is ordering-sensitive and correctness is not.
+
+#include <cstdint>
+#include <span>
+
+#include "graph/csr_graph.hpp"
+
+namespace speckle::graph {
+
+/// Relabel: new id of v is perm[v]. perm must be a permutation of [0, n).
+CsrGraph permute(const CsrGraph& g, std::span<const vid_t> perm);
+
+/// Relabel with a uniformly random permutation (seeded).
+CsrGraph permute_random(const CsrGraph& g, std::uint64_t seed);
+
+}  // namespace speckle::graph

@@ -1,0 +1,91 @@
+#include "graph/suite.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace speckle::graph {
+namespace {
+
+bool is_pow2(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint32_t log2u(std::uint32_t x) {
+  std::uint32_t l = 0;
+  while ((1u << l) < x) ++l;
+  return l;
+}
+
+/// Scale a grid dimension by the cube/square root of denom so the vertex
+/// count shrinks by ~denom while the stencil structure is unchanged.
+vid_t scale_dim(vid_t dim, std::uint32_t denom, double root) {
+  const double factor = std::pow(static_cast<double>(denom), 1.0 / root);
+  const auto scaled = static_cast<vid_t>(std::llround(dim / factor));
+  return scaled < 3 ? 3 : scaled;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& suite_entries() {
+  static const std::vector<SuiteEntry> entries = {
+      {"rmat-er", "Synthetic", false, {1048576, 20971268, 2, 59, 20.00, 23.37}},
+      {"rmat-g", "Synthetic", false, {1048576, 20964268, 0, 899, 20.00, 472.81}},
+      {"thermal2", "Thermal Simulation", true, {1228045, 8580313, 1, 11, 6.99, 0.66}},
+      {"atmosmodd", "Atmospheric Model", false, {1270432, 8814880, 4, 7, 6.94, 0.06}},
+      {"Hamrle3", "Circuit Simulation", false, {1447360, 11028464, 4, 15, 7.62, 7.21}},
+      {"G3_circuit", "Circuit Simulation", true, {1585478, 7660826, 2, 6, 4.83, 0.41}},
+  };
+  return entries;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const SuiteEntry& e : suite_entries()) {
+    if (e.name == name) return e;
+  }
+  SPECKLE_CHECK(false, "unknown suite graph '" + name + "'");
+  return suite_entries().front();  // unreachable
+}
+
+CsrGraph make_suite_graph(const std::string& name, std::uint32_t denom,
+                          std::uint64_t seed) {
+  SPECKLE_CHECK(is_pow2(denom), "suite denom must be a power of two");
+  if (name == "rmat-er" || name == "rmat-g") {
+    // Paper: 1M-vertex R-MAT, ~21M directed CSR entries -> ~10.5 undirected
+    // edges per vertex before dedup. (a,b,c,d) per Section IV.
+    const std::uint32_t scale = 20 - log2u(denom);
+    const vid_t n = 1u << scale;
+    const std::uint64_t undirected = static_cast<std::uint64_t>(n) * 21 / 2;
+    RmatParams params;
+    if (name == "rmat-g") params = {0.45, 0.15, 0.15, 0.25, 0.1};
+    return build_csr(n, rmat(scale, undirected, params, seed));
+  }
+  if (name == "thermal2") {
+    const vid_t d = scale_dim(107, denom, 3.0);
+    EdgeList edges = stencil3d(d, d, d);
+    const vid_t n = d * d * d;
+    add_local_defects(edges, n, 0.5, d, seed + 1);
+    return build_csr(n, std::move(edges));
+  }
+  if (name == "atmosmodd") {
+    const vid_t dx = scale_dim(108, denom, 3.0);
+    const vid_t dy = scale_dim(108, denom, 3.0);
+    const vid_t dz = scale_dim(109, denom, 3.0);
+    return build_csr(dx * dy * dz, stencil3d(dx, dy, dz));
+  }
+  if (name == "Hamrle3") {
+    const auto n = static_cast<vid_t>(1447360 / denom);
+    const vid_t window = n < 2000 ? n / 2 : 1000;
+    return build_csr(n, local_random(n, 1, 7, window, seed + 2));
+  }
+  if (name == "G3_circuit") {
+    const vid_t d = scale_dim(1259, denom, 2.0);
+    EdgeList edges = stencil2d(d, d);
+    add_local_defects(edges, d * d, 0.42, d, seed + 3);
+    return build_csr(d * d, std::move(edges));
+  }
+  SPECKLE_CHECK(false, "unknown suite graph '" + name + "'");
+  return CsrGraph();  // unreachable
+}
+
+}  // namespace speckle::graph

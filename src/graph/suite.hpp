@@ -1,0 +1,58 @@
+#pragma once
+/// \file suite.hpp
+/// The paper's benchmark suite (Table I), reproducible at reduced scale.
+///
+/// rmat-er and rmat-g use the paper's actual generator and parameters.
+/// The four University of Florida matrices are replaced by structural
+/// twins built from their published statistics (DESIGN.md §2):
+///
+///   thermal2   — 3-D 7-point stencil + 0.5 defect edges/vertex
+///                (FEM thermal problem: grid-like, avg 6.99, max 11)
+///   atmosmodd  — exact 3-D 7-point stencil
+///                (atmospheric model: avg 6.94, variance 0.06)
+///   Hamrle3    — locality-windowed random graph, initiated degree U[1,7]
+///                (circuit: avg 7.62, variance 7.21)
+///   G3_circuit — 2-D 5-point stencil + 0.42 defect edges/vertex
+///                (circuit: avg 4.83, max 6)
+///
+/// `denom` divides the vertex count (power of two; 1 = paper scale). The
+/// per-vertex degree structure is scale-invariant, so relative results
+/// hold across scales (checked in EXPERIMENTS.md).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace speckle::graph {
+
+/// The statistics Table I publishes for each suite graph (at denom == 1).
+struct PaperStats {
+  vid_t num_vertices;
+  std::uint64_t num_edges;  ///< directed CSR entries
+  vid_t min_degree;
+  vid_t max_degree;
+  double avg_degree;
+  double degree_variance;
+};
+
+struct SuiteEntry {
+  std::string name;
+  std::string domain;  ///< Table I "Application" column
+  bool spd;            ///< Table I "s.p.d" column
+  PaperStats paper;    ///< published statistics, for side-by-side reporting
+};
+
+/// The six suite graphs in Table I order.
+const std::vector<SuiteEntry>& suite_entries();
+
+/// Entry lookup by name; aborts on unknown name.
+const SuiteEntry& suite_entry(const std::string& name);
+
+/// Build one suite graph. `denom` must be a power of two >= 1.
+/// Deterministic for a given (name, denom, seed).
+CsrGraph make_suite_graph(const std::string& name, std::uint32_t denom,
+                          std::uint64_t seed = 0x5eed);
+
+}  // namespace speckle::graph

@@ -1,0 +1,57 @@
+#pragma once
+/// \file buffer.hpp
+/// Typed device buffers.
+///
+/// Data lives in host memory (functional simulation); each buffer also has
+/// a unique, 256-byte-aligned *device address range* so the cache models,
+/// the coalescer and the atomic unit see a realistic address space.
+/// Buffers are created through Device::alloc<T>() and must outlive every
+/// kernel that captures them.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace speckle::simt {
+
+class Device;
+
+template <typename T>
+class Buffer {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>, "device data must be POD-like");
+
+  Buffer() = default;
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t byte_size() const { return data_.size() * sizeof(T); }
+
+  /// Device address of element i (for trace records).
+  std::uint64_t addr_of(std::size_t i) const { return base_ + i * sizeof(T); }
+  std::uint64_t base_addr() const { return base_; }
+
+  /// Host-side access (initialisation and result readback; the simulated
+  /// transfer cost, when it matters, is charged via Device::copy_*).
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  std::span<T> host() { return data_; }
+  std::span<const T> host() const { return data_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  void copy_from(std::span<const T> src) {
+    SPECKLE_CHECK(src.size() == data_.size(), "copy_from size mismatch");
+    std::copy(src.begin(), src.end(), data_.begin());
+  }
+
+ private:
+  friend class Device;
+  Buffer(std::uint64_t base, std::size_t n) : base_(base), data_(n) {}
+
+  std::uint64_t base_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace speckle::simt

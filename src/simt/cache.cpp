@@ -1,0 +1,61 @@
+#include "simt/cache.hpp"
+
+#include "support/check.hpp"
+
+namespace speckle::simt {
+
+CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                       std::uint32_t ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  SPECKLE_CHECK(line_bytes > 0 && ways > 0, "cache geometry must be positive");
+  SPECKLE_CHECK(size_bytes % (static_cast<std::uint64_t>(line_bytes) * ways) == 0,
+                "cache size must be divisible by line*ways");
+  num_sets_ = static_cast<std::uint32_t>(size_bytes / line_bytes / ways);
+  SPECKLE_CHECK(num_sets_ > 0, "cache must have at least one set");
+  sets_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+bool CacheModel::access(std::uint64_t line_addr) {
+  SPECKLE_CHECK(line_addr % line_bytes_ == 0, "cache access must be line-aligned");
+  const std::uint64_t line_id = line_addr / line_bytes_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_id % num_sets_);
+  const std::uint64_t tag = line_id / num_sets_;
+  Way* base = &sets_[static_cast<std::size_t>(set) * ways_];
+  ++tick_;
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  return false;
+}
+
+bool CacheModel::probe(std::uint64_t line_addr) const {
+  const std::uint64_t line_id = line_addr / line_bytes_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_id % num_sets_);
+  const std::uint64_t tag = line_id / num_sets_;
+  const Way* base = &sets_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void CacheModel::invalidate_all() {
+  for (Way& way : sets_) way.valid = false;
+}
+
+}  // namespace speckle::simt

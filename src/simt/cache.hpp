@@ -1,0 +1,51 @@
+#pragma once
+/// \file cache.hpp
+/// Set-associative LRU cache model used for the per-SM read-only data cache
+/// and the device-wide L2. Tracks tags only — data flows through the
+/// functional layer; the model answers "hit or miss" and keeps counters.
+
+#include <cstdint>
+#include <vector>
+
+namespace speckle::simt {
+
+class CacheModel {
+ public:
+  /// `size_bytes` total capacity, `line_bytes` block size, `ways`
+  /// associativity. size must be divisible by line*ways.
+  CacheModel(std::uint64_t size_bytes, std::uint32_t line_bytes, std::uint32_t ways);
+
+  /// Look up `line_addr` (must be line-aligned); fills on miss.
+  /// Returns true on hit.
+  bool access(std::uint64_t line_addr);
+
+  /// Look up without filling (used by write-through stores).
+  bool probe(std::uint64_t line_addr) const;
+
+  /// Drop all contents (kernel boundary for the read-only cache: its
+  /// coherence story only holds within one kernel).
+  void invalidate_all();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+  std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  std::uint32_t line_bytes_;
+  std::uint32_t ways_;
+  std::uint32_t num_sets_;
+  std::vector<Way> sets_;  ///< num_sets_ * ways_, row-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace speckle::simt

@@ -1,0 +1,47 @@
+#include "simt/config.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace speckle::simt {
+
+DeviceConfig DeviceConfig::scaled(std::uint32_t denom) const {
+  SPECKLE_CHECK(denom >= 1, "scale denominator must be >= 1");
+  DeviceConfig scaled = *this;
+  auto shrink = [&](std::uint64_t bytes, std::uint32_t ways) {
+    const std::uint64_t unit = static_cast<std::uint64_t>(line_bytes) * ways;
+    const std::uint64_t target = std::max<std::uint64_t>(bytes / denom, unit);
+    return target / unit * unit;  // keep size divisible by line*ways
+  };
+  scaled.l2_bytes = shrink(l2_bytes, l2_ways);
+  scaled.ro_cache_bytes =
+      static_cast<std::uint32_t>(shrink(ro_cache_bytes, ro_cache_ways));
+  return scaled;
+}
+
+std::uint32_t occupancy_blocks_per_sm(const DeviceConfig& dev, const LaunchConfig& cfg) {
+  SPECKLE_CHECK(cfg.block_threads >= 1 && cfg.block_threads <= dev.max_threads_per_block,
+                "block size out of range");
+  const std::uint32_t warps_per_block =
+      (cfg.block_threads + dev.warp_size - 1) / dev.warp_size;
+  SPECKLE_CHECK(warps_per_block <= dev.max_warps_per_sm, "block exceeds SM warp limit");
+
+  std::uint32_t resident = dev.max_blocks_per_sm;
+  resident = std::min(resident, dev.max_warps_per_sm / warps_per_block);
+  if (cfg.regs_per_thread > 0) {
+    const std::uint32_t regs_per_block = cfg.regs_per_thread * cfg.block_threads;
+    SPECKLE_CHECK(regs_per_block <= dev.regfile_per_sm,
+                  "block exceeds SM register file");
+    resident = std::min(resident, dev.regfile_per_sm / regs_per_block);
+  }
+  if (cfg.smem_bytes_per_block > 0) {
+    SPECKLE_CHECK(cfg.smem_bytes_per_block <= dev.smem_per_sm,
+                  "block exceeds SM scratchpad");
+    resident = std::min(resident, dev.smem_per_sm / cfg.smem_bytes_per_block);
+  }
+  SPECKLE_CHECK(resident >= 1, "kernel cannot be scheduled on this device");
+  return resident;
+}
+
+}  // namespace speckle::simt

@@ -1,0 +1,94 @@
+#pragma once
+/// \file config.hpp
+/// Device and launch descriptions for the SIMT execution-model simulator.
+///
+/// The simulator is *cycle-approximate*: it models the mechanisms the paper's
+/// performance analysis rests on — warp-interleaved latency hiding, memory
+/// coalescing, the per-SM read-only (texture) cache vs. L2 vs. DRAM, MSHR
+/// and DRAM-bandwidth throttling, atomic-unit serialization, occupancy
+/// limits, kernel-launch and PCIe overheads — with calibrated latency and
+/// throughput constants rather than a gate-level pipeline. The defaults
+/// follow the NVIDIA K20c (Kepler GK110) the paper evaluates on.
+
+#include <cstdint>
+
+namespace speckle::simt {
+
+struct DeviceConfig {
+  // --- compute resources -------------------------------------------------
+  std::uint32_t num_sms = 13;             ///< K20c: 13 SMX
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_warps_per_sm = 64;
+  std::uint32_t max_blocks_per_sm = 16;
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t regfile_per_sm = 65536;   ///< 32-bit registers
+  std::uint32_t smem_per_sm = 48 * 1024;  ///< scratchpad bytes
+  std::uint32_t issue_slots_per_cycle = 4;  ///< quad warp schedulers
+  double core_clock_ghz = 0.706;
+  std::uint32_t compute_latency = 10;     ///< dependent-issue ALU latency
+
+  // --- memory hierarchy ---------------------------------------------------
+  std::uint32_t line_bytes = 128;         ///< coalescing granularity
+  std::uint32_t dram_sector_bytes = 32;   ///< DRAM transfer granularity (Kepler
+                                          ///< L2 fills are 32-byte sectored, so
+                                          ///< a scattered 4-byte load costs 32
+                                          ///< bytes of bandwidth, not 128)
+  std::uint32_t shared_latency = 6;       ///< scratchpad access
+  std::uint32_t ro_cache_bytes = 48 * 1024;  ///< per-SM read-only data cache
+  std::uint32_t ro_cache_ways = 4;
+  std::uint32_t ro_hit_latency = 30;      ///< "around 30 cycles" (Section III-C)
+  std::uint64_t l2_bytes = 1280 * 1024;   ///< K20c: 1.25 MB
+  std::uint32_t l2_ways = 16;
+  std::uint32_t l2_hit_latency = 140;
+  std::uint32_t dram_latency = 300;       ///< "about 300 cycles" (Section III-C)
+  double dram_gbps = 208.0;               ///< K20c peak
+  std::uint32_t mshrs_per_sm = 44;        ///< outstanding misses per SM
+
+  // --- atomics -------------------------------------------------------------
+  std::uint32_t atomic_latency = 120;     ///< round trip to the L2 atomic unit
+  std::uint32_t atomic_serialize = 16;    ///< same-address back-to-back interval
+
+  // --- host interface ------------------------------------------------------
+  double kernel_launch_us = 5.0;
+  double pcie_latency_us = 8.0;
+  double pcie_gbps = 6.0;
+
+  /// Peak DRAM bytes per core cycle (used for bandwidth capping and the
+  /// achieved-bandwidth metric of Fig 3).
+  double dram_bytes_per_cycle() const {
+    return dram_gbps / core_clock_ghz;
+  }
+
+  std::uint64_t us_to_cycles(double us) const {
+    return static_cast<std::uint64_t>(us * core_clock_ghz * 1e3);
+  }
+
+  double cycles_to_ms(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / (core_clock_ghz * 1e6);
+  }
+
+  /// The paper's evaluation platform.
+  static DeviceConfig k20c() { return DeviceConfig{}; }
+
+  /// Capacity-scaled copy for reduced-scale experiments: cache sizes shrink
+  /// by `denom` so the working-set-to-cache ratio — which decides whether
+  /// the color array lives in L2 or DRAM, the crux of the paper's
+  /// latency-bound analysis — matches the full-size run. Latencies,
+  /// bandwidths, and compute resources are rates and stay unchanged.
+  DeviceConfig scaled(std::uint32_t denom) const;
+};
+
+struct LaunchConfig {
+  std::uint32_t grid_blocks = 0;
+  std::uint32_t block_threads = 128;  ///< the paper's chosen default (Fig 8)
+  /// Per-thread register demand; limits occupancy. 37 is representative of
+  /// the coloring kernels (compiled with CUDA 7.0 -O3 the paper used).
+  std::uint32_t regs_per_thread = 37;
+  std::uint32_t smem_bytes_per_block = 0;
+};
+
+/// Resident blocks per SM under the occupancy rules (blocks, warps,
+/// registers, scratchpad). Returns at least 1 if the block fits at all.
+std::uint32_t occupancy_blocks_per_sm(const DeviceConfig& dev, const LaunchConfig& cfg);
+
+}  // namespace speckle::simt

@@ -1,0 +1,217 @@
+#include "simt/device.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "simt/worklist.hpp"
+#include "support/check.hpp"
+
+namespace speckle::simt {
+namespace {
+
+std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) { return (a + b - 1) / b; }
+
+std::uint32_t ceil_log2(std::uint32_t x) {
+  std::uint32_t bits = 0;
+  while ((1u << bits) < x) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+void Thread::scan_push(Worklist& wl, std::uint32_t value) {
+  // Ballot + local prefix work at the call site; the block-wide compaction
+  // is charged at block retirement (flush_scan_pushes).
+  compute(3);
+  block_state_.pushes.push_back({&wl, value, thread_in_block_});
+}
+
+Device::Device(DeviceConfig config)
+    : config_(config), memory_(config_), engine_(config_, memory_) {}
+
+std::uint64_t Device::allocate_range(std::uint64_t bytes) {
+  const std::uint64_t base = next_addr_;
+  const std::uint64_t aligned = (bytes + 255) / 256 * 256;
+  // Pad with one extra 256-byte unit so distinct buffers never share a
+  // cache line and every base stays 256-aligned.
+  next_addr_ += aligned + 256;
+  return base;
+}
+
+const KernelStats& Device::launch(const LaunchConfig& cfg, const std::string& name,
+                                  const Kernel& body) {
+  return run_grid(cfg, name, {body});
+}
+
+const KernelStats& Device::launch_phased(const LaunchConfig& cfg,
+                                         const std::string& name,
+                                         const std::vector<Kernel>& phases) {
+  SPECKLE_CHECK(!phases.empty(), "launch_phased needs at least one phase");
+  return run_grid(cfg, name, phases);
+}
+
+namespace {
+
+/// Apply the block's pending scan_push requests: bump each worklist tail
+/// once, write the compacted items, and charge the cost to the warp traces —
+/// the CUB-style block scan (log-depth scratchpad traversal + two barriers),
+/// ONE tail atomic per block, and coalesced item stores.
+void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
+                       BlockState& bstate, BlockWork& work) {
+  if (bstate.pushes.empty()) return;
+
+  const std::uint32_t scan_insts = 2 * ceil_log2(std::max(2u, cfg.block_threads));
+  for (WarpTrace& wt : work.warps) {
+    wt.ops.push_back({OpKind::kCompute, Space::kGlobal,
+                      static_cast<std::uint16_t>(scan_insts), 32, {}});
+    wt.ops.push_back({OpKind::kSharedAccess, Space::kGlobal, 1, 32, {}});
+    wt.ops.push_back({OpKind::kSync, Space::kGlobal, 1, 32, {}});
+  }
+
+  // Group by destination worklist, preserving thread order within a group.
+  std::map<Worklist*, std::vector<const BlockState::PendingPush*>> groups;
+  for (const BlockState::PendingPush& push : bstate.pushes) {
+    groups[push.worklist].push_back(&push);
+  }
+
+  for (auto& [wl, pushes] : groups) {
+    // Functional: reserve the range and write the items.
+    Buffer<std::uint32_t>& tail = wl->tail();
+    Buffer<std::uint32_t>& items = wl->items();
+    const std::uint32_t offset = tail[0];
+    SPECKLE_CHECK(offset + pushes.size() <= items.size(), "worklist overflow");
+    tail[0] = offset + static_cast<std::uint32_t>(pushes.size());
+
+    // Timing: one atomic on the tail, performed by warp 0's leader.
+    work.warps.front().ops.push_back(
+        {OpKind::kAtomic, Space::kGlobal, 1, 1, {tail.addr_of(0)}});
+
+    // Per-warp coalesced stores of that warp's items.
+    std::vector<std::vector<std::uint64_t>> warp_addrs(work.warps.size());
+    std::vector<std::vector<std::uint8_t>> warp_sizes(work.warps.size());
+    for (std::size_t i = 0; i < pushes.size(); ++i) {
+      items[offset + i] = pushes[i]->value;
+      const std::uint32_t warp = pushes[i]->thread_in_block / dev.warp_size;
+      warp_addrs[warp].push_back(items.addr_of(offset + i));
+      warp_sizes[warp].push_back(sizeof(std::uint32_t));
+    }
+    for (std::size_t w = 0; w < work.warps.size(); ++w) {
+      if (warp_addrs[w].empty()) continue;
+      WarpOp store{OpKind::kStore, Space::kGlobal, 1,
+                   static_cast<std::uint16_t>(warp_addrs[w].size()), {}};
+      store.addrs = coalesce(warp_addrs[w], warp_sizes[w], dev.line_bytes);
+      work.warps[w].ops.push_back(std::move(store));
+    }
+  }
+
+  // Second barrier: the offset broadcast before the stores retire.
+  for (WarpTrace& wt : work.warps) {
+    wt.ops.push_back({OpKind::kSync, Space::kGlobal, 1, 32, {}});
+  }
+  bstate.pushes.clear();
+}
+
+}  // namespace
+
+const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& name,
+                                    const std::vector<Kernel>& phases) {
+  SPECKLE_CHECK(cfg.grid_blocks >= 1, "kernel launched with an empty grid");
+  memory_.begin_kernel();
+
+  const std::uint32_t occupancy = occupancy_blocks_per_sm(config_, cfg);
+  const std::uint32_t blocks_per_wave = occupancy * config_.num_sms;
+  const std::uint32_t warps_per_block = ceil_div(cfg.block_threads, config_.warp_size);
+
+  KernelStats stats;
+  stats.name = name;
+  stats.grid_blocks = cfg.grid_blocks;
+  stats.block_threads = cfg.block_threads;
+
+  double t = 0.0;
+  std::vector<std::vector<ThreadTrace>> traces(
+      warps_per_block, std::vector<ThreadTrace>(config_.warp_size));
+
+  for (std::uint32_t wave_begin = 0; wave_begin < cfg.grid_blocks;
+       wave_begin += blocks_per_wave) {
+    const std::uint32_t wave_count =
+        std::min(blocks_per_wave, cfg.grid_blocks - wave_begin);
+    std::vector<BlockWork> works(wave_count);
+
+    for (std::uint32_t bi = 0; bi < wave_count; ++bi) {
+      const std::uint32_t block = wave_begin + bi;
+      BlockState bstate;
+      bstate.shared_words.resize(
+          std::max<std::size_t>(cfg.smem_bytes_per_block / 4, 1));
+      for (auto& warp : traces) {
+        for (ThreadTrace& lane : warp) lane.clear();
+      }
+
+      for (std::size_t phase = 0; phase < phases.size(); ++phase) {
+        for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+          for (std::uint32_t l = 0; l < config_.warp_size; ++l) {
+            const std::uint32_t tid = w * config_.warp_size + l;
+            if (tid >= cfg.block_threads) break;
+            Thread thread(block, tid, cfg.block_threads, cfg.grid_blocks,
+                          config_.warp_size, traces[w][l], bstate);
+            phases[phase](thread);
+          }
+          // Warp retirement: racy stores become visible to later warps.
+          for (const BlockState::DeferredWrite& write : bstate.deferred) {
+            *write.target = write.value;
+          }
+          bstate.deferred.clear();
+        }
+        if (phase + 1 < phases.size()) {
+          for (auto& warp : traces) {
+            for (ThreadTrace& lane : warp) lane.sync();
+          }
+        }
+      }
+
+      BlockWork& work = works[bi];
+      work.warps.reserve(warps_per_block);
+      for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+        work.warps.push_back(merge_warp(traces[w], config_.line_bytes));
+      }
+      flush_scan_pushes(config_, cfg, bstate, work);
+    }
+
+    std::vector<std::vector<const BlockWork*>> per_sm(config_.num_sms);
+    for (std::uint32_t bi = 0; bi < wave_count; ++bi) {
+      per_sm[bi % config_.num_sms].push_back(&works[bi]);
+    }
+    t = engine_.run_wave(per_sm, t, stats);
+  }
+
+  stats.cycles =
+      static_cast<std::uint64_t>(t) + config_.us_to_cycles(config_.kernel_launch_us);
+  report_.total_cycles += stats.cycles;
+  report_.kernels.push_back(std::move(stats));
+  return report_.kernels.back();
+}
+
+void Device::copy_to_device(std::uint64_t bytes) {
+  const double us =
+      config_.pcie_latency_us + static_cast<double>(bytes) / (config_.pcie_gbps * 1e3);
+  const std::uint64_t cycles = config_.us_to_cycles(us);
+  report_.h2d.bytes += bytes;
+  report_.h2d.cycles += cycles;
+  ++report_.h2d.count;
+  report_.total_cycles += cycles;
+}
+
+void Device::copy_to_host(std::uint64_t bytes) {
+  const double us =
+      config_.pcie_latency_us + static_cast<double>(bytes) / (config_.pcie_gbps * 1e3);
+  const std::uint64_t cycles = config_.us_to_cycles(us);
+  report_.d2h.bytes += bytes;
+  report_.d2h.cycles += cycles;
+  ++report_.d2h.count;
+  report_.total_cycles += cycles;
+}
+
+void Device::charge_host_cycles(std::uint64_t cycles) { report_.total_cycles += cycles; }
+
+void Device::reset_report() { report_ = DeviceReport{}; }
+
+}  // namespace speckle::simt

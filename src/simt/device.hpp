@@ -1,0 +1,93 @@
+#pragma once
+/// \file device.hpp
+/// The simulated GPU: memory allocation, kernel launch, transfer modeling
+/// and the accumulated run report.
+///
+/// Typical use (mirrors a CUDA host program):
+///
+///   simt::Device dev(simt::DeviceConfig::k20c());
+///   auto row = dev.alloc<eid_t>(n + 1);
+///   row.copy_from(graph.row_offsets());
+///   dev.copy_to_device(row.byte_size());            // charge H2D (optional)
+///   dev.launch({.grid_blocks = nblocks, .block_threads = 128}, "color",
+///              [&](simt::Thread& t) { ... });
+///   double ms = dev.report().ms(dev.config());
+///
+/// Execution is functional (buffers live in host memory) plus a
+/// cycle-approximate timing model (see timing.hpp). Everything is
+/// deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simt/buffer.hpp"
+#include "simt/config.hpp"
+#include "simt/memory.hpp"
+#include "simt/stats.hpp"
+#include "simt/thread.hpp"
+#include "simt/timing.hpp"
+
+namespace speckle::simt {
+
+using Kernel = std::function<void(Thread&)>;
+
+class Device {
+ public:
+  explicit Device(DeviceConfig config = DeviceConfig::k20c());
+
+  const DeviceConfig& config() const { return config_; }
+
+  /// Allocate a typed device buffer (256-byte aligned address range).
+  template <typename T>
+  Buffer<T> alloc(std::size_t count) {
+    const std::uint64_t bytes = count * sizeof(T);
+    const std::uint64_t base = allocate_range(bytes);
+    return Buffer<T>(base, count);
+  }
+
+  /// Launch a barrier-free kernel over grid_blocks x block_threads threads.
+  const KernelStats& launch(const LaunchConfig& cfg, const std::string& name,
+                            const Kernel& body);
+
+  /// Launch a kernel expressed as phases with an implicit block-wide barrier
+  /// between consecutive phases (__syncthreads at each phase boundary).
+  const KernelStats& launch_phased(const LaunchConfig& cfg, const std::string& name,
+                                   const std::vector<Kernel>& phases);
+
+  /// Charge a host-to-device / device-to-host transfer of `bytes` to the
+  /// device timeline (PCIe latency + bandwidth model). Data movement itself
+  /// is a no-op — buffers are host-resident.
+  void copy_to_device(std::uint64_t bytes);
+  void copy_to_host(std::uint64_t bytes);
+
+  /// Advance the timeline by host-side work of `cycles` *device* cycles
+  /// (used when a hybrid scheme does real work on the CPU, e.g. the 3-step
+  /// GM conflict resolution; callers convert from CPU-model cycles).
+  void charge_host_cycles(std::uint64_t cycles);
+
+  const DeviceReport& report() const { return report_; }
+  /// Clear the report and rewind the timeline (e.g. after warm-up).
+  void reset_report();
+
+  std::uint64_t timeline_cycles() const { return report_.total_cycles; }
+  double elapsed_ms() const { return config_.cycles_to_ms(report_.total_cycles); }
+
+  MemorySystem& memory() { return memory_; }
+
+ private:
+  friend class Thread;
+
+  std::uint64_t allocate_range(std::uint64_t bytes);
+  const KernelStats& run_grid(const LaunchConfig& cfg, const std::string& name,
+                              const std::vector<Kernel>& phases);
+
+  DeviceConfig config_;
+  MemorySystem memory_;
+  TimingEngine engine_;
+  DeviceReport report_;
+  std::uint64_t next_addr_ = 0x1000;
+};
+
+}  // namespace speckle::simt

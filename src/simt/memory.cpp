@@ -1,0 +1,55 @@
+#include "simt/memory.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace speckle::simt {
+
+MemorySystem::MemorySystem(const DeviceConfig& dev)
+    : dev_(dev), l2_(dev.l2_bytes, dev.line_bytes, dev.l2_ways) {
+  ro_caches_.reserve(dev.num_sms);
+  for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+    ro_caches_.emplace_back(dev.ro_cache_bytes, dev.line_bytes, dev.ro_cache_ways);
+  }
+}
+
+void MemorySystem::begin_kernel() {
+  for (CacheModel& cache : ro_caches_) cache.invalidate_all();
+  atomic_ready_.clear();
+}
+
+MemorySystem::LoadResult MemorySystem::load(std::uint32_t sm, Space space,
+                                            std::uint64_t line_addr) {
+  SPECKLE_CHECK(sm < ro_caches_.size(), "load from unknown SM");
+  LoadResult result;
+  if (space == Space::kReadOnly) {
+    // __ldg: probe the per-SM read-only cache first (Fig 4 right-hand path).
+    if (ro_caches_[sm].access(line_addr)) {
+      result.ro_hit = true;
+      result.latency = dev_.ro_hit_latency;
+      return result;
+    }
+  }
+  if (l2_.access(line_addr)) {
+    result.l2_hit = true;
+    result.latency = dev_.l2_hit_latency;
+  } else {
+    result.dram = true;
+    result.latency = dev_.dram_latency;
+  }
+  // On an RO miss the fill overlaps the L2/DRAM trip — no extra charge
+  // (__ldg must never be slower than the plain-load path it replaces).
+  return result;
+}
+
+bool MemorySystem::store(std::uint64_t line_addr) { return !l2_.access(line_addr); }
+
+double MemorySystem::atomic(std::uint64_t word_addr, double now) {
+  double& ready = atomic_ready_[word_addr];
+  const double start = std::max(now, ready);
+  ready = start + static_cast<double>(dev_.atomic_serialize);
+  return start + static_cast<double>(dev_.atomic_latency);
+}
+
+}  // namespace speckle::simt

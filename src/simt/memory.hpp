@@ -1,0 +1,58 @@
+#pragma once
+/// \file memory.hpp
+/// The device memory subsystem shared by all SMs: the per-SM read-only data
+/// caches (the __ldg path of Fig 4), the unified L2, DRAM counters, and the
+/// atomic operation unit with per-address serialization.
+///
+/// The timing engine asks this model "what does touching this line cost?".
+/// Data movement itself is functional (buffers live in host memory).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "simt/cache.hpp"
+#include "simt/config.hpp"
+#include "simt/trace.hpp"
+
+namespace speckle::simt {
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const DeviceConfig& dev);
+
+  /// Kernel boundary: the read-only caches are only coherent within one
+  /// kernel, and atomic-unit queues drain between kernels. L2 stays warm.
+  void begin_kernel();
+
+  struct LoadResult {
+    std::uint64_t latency = 0;
+    bool ro_hit = false;
+    bool l2_hit = false;
+    bool dram = false;  ///< the access reached DRAM
+  };
+
+  /// One 128-byte read transaction from SM `sm` through `space`.
+  LoadResult load(std::uint32_t sm, Space space, std::uint64_t line_addr);
+
+  /// One write transaction (write-through to L2; allocates the line).
+  /// Returns true if the write missed L2 (DRAM traffic).
+  bool store(std::uint64_t line_addr);
+
+  /// One atomic RMW on `word_addr`, issued at cycle `now`. Atomics to the
+  /// same word serialize at the atomic unit (Section III-C: "Atomic
+  /// operations are performed at each memory partition by the AOU").
+  /// Returns the completion cycle.
+  double atomic(std::uint64_t word_addr, double now);
+
+  const CacheModel& l2() const { return l2_; }
+  const CacheModel& ro_cache(std::uint32_t sm) const { return ro_caches_[sm]; }
+
+ private:
+  const DeviceConfig& dev_;
+  CacheModel l2_;
+  std::vector<CacheModel> ro_caches_;  ///< one per SM
+  std::unordered_map<std::uint64_t, double> atomic_ready_;  ///< per-word clock
+};
+
+}  // namespace speckle::simt

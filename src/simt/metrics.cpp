@@ -1,0 +1,95 @@
+#include "simt/metrics.hpp"
+
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace speckle::simt {
+
+std::string format_kernel_table(const DeviceReport& report, const DeviceConfig& dev) {
+  support::Table table({"kernel", "grid", "block", "cycles", "ms", "insts", "gld",
+                        "gst", "l2 hit%", "ro hit%", "atomics", "IPC%", "BW%"});
+  for (const KernelStats& k : report.kernels) {
+    const double l2_pct = k.l2_hits + k.l2_misses
+                              ? 100.0 * k.l2_hits / (k.l2_hits + k.l2_misses)
+                              : 0.0;
+    const double ro_pct = k.ro_hits + k.ro_misses
+                              ? 100.0 * k.ro_hits / (k.ro_hits + k.ro_misses)
+                              : 0.0;
+    table.row()
+        .cell(k.name)
+        .cell_u64(k.grid_blocks)
+        .cell_u64(k.block_threads)
+        .cell(support::format_cycles(k.cycles))
+        .cell_f(dev.cycles_to_ms(k.cycles), 3)
+        .cell(support::format_si(static_cast<double>(k.warp_insts), 1))
+        .cell(support::format_si(static_cast<double>(k.gld_transactions), 1))
+        .cell(support::format_si(static_cast<double>(k.gst_transactions), 1))
+        .cell_f(l2_pct, 1)
+        .cell_f(ro_pct, 1)
+        .cell_u64(k.atomics)
+        .cell_f(100.0 * k.compute_utilization(), 1)
+        .cell_f(100.0 * k.bandwidth_utilization(dev), 1);
+  }
+  std::ostringstream oss;
+  table.print(oss);
+  if (report.h2d.count + report.d2h.count > 0) {
+    oss << "transfers: h2d " << support::format_bytes(report.h2d.bytes) << " in "
+        << report.h2d.count << " copies (" << support::format_cycles(report.h2d.cycles)
+        << " cy), d2h " << support::format_bytes(report.d2h.bytes) << " in "
+        << report.d2h.count << " copies (" << support::format_cycles(report.d2h.cycles)
+        << " cy)\n";
+  }
+  return oss.str();
+}
+
+std::string format_stall_breakdown(const StallBreakdown& stalls) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Stall::kCount); ++i) {
+    const auto reason = static_cast<Stall>(i);
+    oss << "  " << stall_name(reason) << ": ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%", 100.0 * stalls.fraction(reason));
+    oss << buf << "\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  busy (issuing): %5.1f%%\n",
+                stalls.total > 0 ? 100.0 * stalls.busy / stalls.total : 0.0);
+  oss << buf;
+  return oss.str();
+}
+
+OccupancyReport analyze_occupancy(const DeviceConfig& dev, const LaunchConfig& cfg) {
+  OccupancyReport report;
+  const std::uint32_t warps_per_block =
+      (cfg.block_threads + dev.warp_size - 1) / dev.warp_size;
+
+  struct Limit {
+    std::uint32_t blocks;
+    const char* name;
+  };
+  Limit limits[] = {
+      {dev.max_blocks_per_sm, "blocks"},
+      {dev.max_warps_per_sm / warps_per_block, "warps"},
+      {cfg.regs_per_thread > 0
+           ? dev.regfile_per_sm / (cfg.regs_per_thread * cfg.block_threads)
+           : ~0U,
+       "registers"},
+      {cfg.smem_bytes_per_block > 0 ? dev.smem_per_sm / cfg.smem_bytes_per_block
+                                    : ~0U,
+       "scratchpad"},
+  };
+  report.resident_blocks = ~0U;
+  for (const Limit& limit : limits) {
+    if (limit.blocks < report.resident_blocks) {
+      report.resident_blocks = limit.blocks;
+      report.limiter = limit.name;
+    }
+  }
+  report.resident_warps = report.resident_blocks * warps_per_block;
+  report.occupancy =
+      static_cast<double>(report.resident_warps) / dev.max_warps_per_sm;
+  return report;
+}
+
+}  // namespace speckle::simt

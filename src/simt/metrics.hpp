@@ -1,0 +1,31 @@
+#pragma once
+/// \file metrics.hpp
+/// Human-readable reporting over simulator results: the per-kernel profile
+/// table (an nvprof-like view), the stall breakdown of Fig 3(b), and an
+/// occupancy calculator report for launch tuning (Fig 8's mechanism).
+
+#include <string>
+
+#include "simt/config.hpp"
+#include "simt/stats.hpp"
+
+namespace speckle::simt {
+
+/// Per-kernel profile: grid/block, cycles, ms, transactions, hit rates,
+/// achieved IPC and bandwidth fractions.
+std::string format_kernel_table(const DeviceReport& report, const DeviceConfig& dev);
+
+/// One line per stall reason with percentages, plus busy/total.
+std::string format_stall_breakdown(const StallBreakdown& stalls);
+
+/// Occupancy analysis for a launch: resident blocks/warps per SM and which
+/// resource (blocks, warps, registers, scratchpad) limits them.
+struct OccupancyReport {
+  std::uint32_t resident_blocks = 0;
+  std::uint32_t resident_warps = 0;
+  double occupancy = 0.0;  ///< resident warps / max warps
+  std::string limiter;     ///< "registers", "warps", "blocks", "scratchpad"
+};
+OccupancyReport analyze_occupancy(const DeviceConfig& dev, const LaunchConfig& cfg);
+
+}  // namespace speckle::simt

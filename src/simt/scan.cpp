@@ -1,0 +1,76 @@
+#include "simt/scan.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace speckle::simt {
+
+const KernelStats& block_exclusive_scan(Device& dev, const Buffer<std::uint32_t>& input,
+                                        Buffer<std::uint32_t>& output,
+                                        std::uint32_t block_threads) {
+  SPECKLE_CHECK((block_threads & (block_threads - 1)) == 0,
+                "scan block size must be a power of two");
+  SPECKLE_CHECK(input.size() == output.size(), "scan size mismatch");
+  SPECKLE_CHECK(input.size() % block_threads == 0,
+                "scan input must be a whole number of blocks");
+  const auto n = input.size();
+  const auto grid = static_cast<std::uint32_t>(n / block_threads);
+
+  std::vector<Kernel> phases;
+
+  // Load one element per thread into scratchpad.
+  phases.push_back([&input, n](Thread& t) {
+    const auto i = t.global_id();
+    if (i >= n) return;
+    t.shared_st(t.thread_in_block(), t.ld(input, i));
+  });
+
+  // Up-sweep (reduce) tree: after step d, shared[k] for k at the top of a
+  // 2^(d+1)-wide subtree holds that subtree's sum.
+  for (std::uint32_t stride = 1; stride < block_threads; stride *= 2) {
+    phases.push_back([stride](Thread& t) {
+      const std::uint32_t tid = t.thread_in_block();
+      const std::uint32_t span = stride * 2;
+      t.compute(2);
+      if (tid % span != span - 1) return;
+      const std::uint32_t left = tid - stride;
+      t.shared_st(tid, t.shared_ld(tid) + t.shared_ld(left));
+      t.compute(1);
+    });
+  }
+
+  // Clear the root, then down-sweep: each step pushes prefix sums down one
+  // tree level (classic Blelloch exclusive scan).
+  phases.push_back([block_threads](Thread& t) {
+    if (t.thread_in_block() == block_threads - 1) t.shared_st(t.thread_in_block(), 0);
+  });
+  for (std::uint32_t stride = block_threads / 2; stride >= 1; stride /= 2) {
+    phases.push_back([stride](Thread& t) {
+      const std::uint32_t tid = t.thread_in_block();
+      const std::uint32_t span = stride * 2;
+      t.compute(2);
+      if (tid % span != span - 1) return;
+      const std::uint32_t left = tid - stride;
+      const std::uint32_t left_value = t.shared_ld(left);
+      t.shared_st(left, t.shared_ld(tid));
+      t.shared_st(tid, t.shared_ld(tid) + left_value);
+      t.compute(2);
+    });
+  }
+
+  // Write results back.
+  phases.push_back([&output, n](Thread& t) {
+    const auto i = t.global_id();
+    if (i >= n) return;
+    t.st(output, i, t.shared_ld(t.thread_in_block()));
+  });
+
+  return dev.launch_phased({.grid_blocks = grid,
+                            .block_threads = block_threads,
+                            .regs_per_thread = 24,
+                            .smem_bytes_per_block = block_threads * 4},
+                           "block_exclusive_scan", phases);
+}
+
+}  // namespace speckle::simt

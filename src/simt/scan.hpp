@@ -1,0 +1,26 @@
+#pragma once
+/// \file scan.hpp
+/// Block-wide exclusive prefix sum as *device code* — the Blelloch
+/// work-efficient scan (the algorithm behind CUB's BlockScan, which the
+/// paper's Section III-C builds its worklist compaction on, Fig 5).
+///
+/// Thread::scan_push charges an abstracted cost for this primitive; this
+/// module is the concrete, phase-structured implementation, used by tests
+/// to validate both the phased-execution machinery and the cost abstraction
+/// (the charged cost must be of the same order as this real kernel's).
+
+#include <cstdint>
+
+#include "simt/device.hpp"
+
+namespace speckle::simt {
+
+/// Compute, on the device, the per-block exclusive prefix sum of `input`:
+/// output[i] = sum of input[j] for j < i within i's block. `block_threads`
+/// must be a power of two; input/output sizes must be a multiple of it.
+/// Returns the kernel stats of the scan launch.
+const KernelStats& block_exclusive_scan(Device& dev, const Buffer<std::uint32_t>& input,
+                                        Buffer<std::uint32_t>& output,
+                                        std::uint32_t block_threads);
+
+}  // namespace speckle::simt

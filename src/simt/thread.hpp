@@ -1,0 +1,188 @@
+#pragma once
+/// \file thread.hpp
+/// The device-thread context — the API kernels are written against.
+///
+/// A kernel is any callable `void(Thread&)`. Every data access goes through
+/// the context so it is both executed functionally (against the buffer's
+/// host storage) and recorded in the thread's trace for the timing model:
+///
+///   t.ld(buf, i)      — global load           (DRAM -> L2 -> registers)
+///   t.ldg(buf, i)     — read-only cached load (__ldg; adds the RO cache)
+///   t.st(buf, i, v)   — global store
+///   t.atomic_add/min/max/cas/or — global atomics (serialized per address)
+///   t.compute(n)      — n ALU instructions of dependent work
+///   t.scan_push(wl,v) — block-cooperative worklist push (one global atomic
+///                       per block, Fig 5's prefix-sum scheme)
+///   t.shared_ld/st    — scratchpad (valid within one block)
+///
+/// Threads run to completion in warp-major order — a legal serialization of
+/// the bulk-synchronous model for barrier-free kernels; block barriers are
+/// expressed as phase boundaries (Device::launch_phased) or injected by
+/// cooperative primitives.
+
+#include <cstdint>
+
+#include "simt/buffer.hpp"
+#include "simt/trace.hpp"
+
+namespace speckle::simt {
+
+class Worklist;
+
+/// Per-block mutable state owned by the executor (scratchpad contents and
+/// pending cooperative pushes). Kernels never touch this directly.
+struct BlockState {
+  std::vector<std::uint32_t> shared_words;
+  struct PendingPush {
+    Worklist* worklist;
+    std::uint32_t value;
+    std::uint32_t thread_in_block;
+  };
+  std::vector<PendingPush> pushes;
+
+  /// Warp-deferred stores (st_racy): applied when the warp retires, so
+  /// lanes of one warp see the pre-warp state of racy arrays — the
+  /// lockstep-SIMD visibility that makes speculative coloring conflict.
+  struct DeferredWrite {
+    std::uint32_t* target;
+    std::uint32_t value;
+  };
+  std::vector<DeferredWrite> deferred;
+};
+
+class Thread {
+ public:
+  Thread(std::uint32_t block, std::uint32_t thread_in_block, std::uint32_t block_dim,
+         std::uint32_t grid_dim, std::uint32_t warp_size, ThreadTrace& trace,
+         BlockState& block_state)
+      : block_(block),
+        thread_in_block_(thread_in_block),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        warp_size_(warp_size),
+        trace_(trace),
+        block_state_(block_state) {}
+
+  // --- identity (CUDA's threadIdx/blockIdx/blockDim/gridDim) --------------
+  std::uint32_t block() const { return block_; }
+  std::uint32_t thread_in_block() const { return thread_in_block_; }
+  std::uint32_t block_dim() const { return block_dim_; }
+  std::uint32_t grid_dim() const { return grid_dim_; }
+  std::uint32_t lane() const { return thread_in_block_ % warp_size_; }
+  std::uint32_t warp_in_block() const { return thread_in_block_ / warp_size_; }
+  std::uint64_t global_id() const {
+    return static_cast<std::uint64_t>(block_) * block_dim_ + thread_in_block_;
+  }
+
+  // --- global memory -------------------------------------------------------
+  template <typename T>
+  T ld(const Buffer<T>& buf, std::size_t i) {
+    trace_.memory(OpKind::kLoad, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    return buf[i];
+  }
+
+  /// __ldg(): route through the per-SM read-only data cache. Only valid for
+  /// data that no thread writes during the kernel (the caller's contract,
+  /// same as CUDA's).
+  template <typename T>
+  T ldg(const Buffer<T>& buf, std::size_t i) {
+    trace_.memory(OpKind::kLoad, Space::kReadOnly, buf.addr_of(i), sizeof(T));
+    return buf[i];
+  }
+
+  template <typename T>
+  void st(Buffer<T>& buf, std::size_t i, T value) {
+    trace_.memory(OpKind::kStore, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    buf[i] = value;
+  }
+
+  // --- atomics --------------------------------------------------------------
+  template <typename T>
+  T atomic_add(Buffer<T>& buf, std::size_t i, T delta) {
+    trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    T old = buf[i];
+    buf[i] = static_cast<T>(old + delta);
+    return old;
+  }
+
+  template <typename T>
+  T atomic_min(Buffer<T>& buf, std::size_t i, T value) {
+    trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    T old = buf[i];
+    if (value < old) buf[i] = value;
+    return old;
+  }
+
+  template <typename T>
+  T atomic_max(Buffer<T>& buf, std::size_t i, T value) {
+    trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    T old = buf[i];
+    if (value > old) buf[i] = value;
+    return old;
+  }
+
+  template <typename T>
+  T atomic_or(Buffer<T>& buf, std::size_t i, T value) {
+    trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    T old = buf[i];
+    buf[i] = static_cast<T>(old | value);
+    return old;
+  }
+
+  /// Compare-and-swap; returns the old value (CUDA semantics).
+  template <typename T>
+  T atomic_cas(Buffer<T>& buf, std::size_t i, T expected, T desired) {
+    trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    T old = buf[i];
+    if (old == expected) buf[i] = desired;
+    return old;
+  }
+
+  /// Store whose visibility follows warp-lockstep semantics: the write is
+  /// recorded in the trace now but lands in the buffer only when this warp
+  /// retires. Lanes of the same warp therefore read the pre-warp value —
+  /// exactly how concurrent SIMT threads race on a speculative array (the
+  /// `color` array of Algorithms 4/5). The writing thread must not read the
+  /// element back within the same warp execution.
+  void st_racy(Buffer<std::uint32_t>& buf, std::size_t i, std::uint32_t value) {
+    trace_.memory(OpKind::kStore, Space::kGlobal, buf.addr_of(i),
+                  sizeof(std::uint32_t));
+    block_state_.deferred.push_back({&buf[i], value});
+  }
+
+  // --- compute ---------------------------------------------------------------
+  /// Charge `instructions` dependent ALU instructions.
+  void compute(std::uint32_t instructions = 1) { trace_.compute(instructions); }
+
+  // --- scratchpad -------------------------------------------------------------
+  std::uint32_t shared_ld(std::size_t word_index) {
+    trace_.shared_access();
+    SPECKLE_CHECK(word_index < block_state_.shared_words.size(),
+                  "shared memory read out of bounds");
+    return block_state_.shared_words[word_index];
+  }
+
+  void shared_st(std::size_t word_index, std::uint32_t value) {
+    trace_.shared_access();
+    SPECKLE_CHECK(word_index < block_state_.shared_words.size(),
+                  "shared memory write out of bounds");
+    block_state_.shared_words[word_index] = value;
+  }
+
+  // --- cooperative worklist push (implemented in device.cpp) -------------------
+  /// Enqueue `value` to `wl` using the block-wide prefix-sum scheme: the
+  /// runtime compacts all of the block's pushes and performs a single
+  /// atomic on the worklist tail per block (Section III-C, Fig 5).
+  void scan_push(Worklist& wl, std::uint32_t value);
+
+ private:
+  std::uint32_t block_;
+  std::uint32_t thread_in_block_;
+  std::uint32_t block_dim_;
+  std::uint32_t grid_dim_;
+  std::uint32_t warp_size_;
+  ThreadTrace& trace_;
+  BlockState& block_state_;
+};
+
+}  // namespace speckle::simt

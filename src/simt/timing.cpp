@@ -1,0 +1,265 @@
+#include "simt/timing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace speckle::simt {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct WarpRt {
+  const WarpTrace* trace = nullptr;
+  std::size_t cursor = 0;
+  double ready = 0.0;
+  Stall reason = Stall::kIdle;
+  std::uint32_t block_slot = 0;
+  bool parked = false;
+
+  bool done() const { return cursor >= trace->ops.size(); }
+};
+
+struct BarrierRt {
+  std::uint32_t expected = 0;
+  std::uint32_t arrived = 0;
+  double max_arrival = 0.0;
+  std::vector<std::uint32_t> waiting;
+};
+
+}  // namespace
+
+TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
+                                             const std::vector<const BlockWork*>& blocks,
+                                             double start, KernelStats& stats) {
+  SmOutcome outcome;
+  outcome.finish = start;
+  if (blocks.empty()) return outcome;
+
+  const double issue_cost = 1.0 / dev_.issue_slots_per_cycle;
+
+  std::vector<WarpRt> warps;
+  std::vector<BarrierRt> barriers(blocks.size());
+  for (std::uint32_t slot = 0; slot < blocks.size(); ++slot) {
+    std::uint64_t sync_count = 0;
+    bool first = true;
+    for (const WarpTrace& wt : blocks[slot]->warps) {
+      std::uint64_t syncs = 0;
+      for (const WarpOp& op : wt.ops) {
+        if (op.kind == OpKind::kSync) ++syncs;
+      }
+      if (syncs > 0) ++barriers[slot].expected;
+      if (first) {
+        sync_count = syncs;
+        first = false;
+      } else {
+        SPECKLE_CHECK(syncs == sync_count || syncs == 0,
+                      "warps of a block must hit the same barriers");
+      }
+      if (!wt.ops.empty()) {
+        warps.push_back({&wt, 0, start, Stall::kIdle, slot, false});
+      }
+    }
+  }
+  if (warps.empty()) return outcome;
+
+  // Outstanding DRAM-miss completions (MSHR occupancy) for this SM.
+  std::priority_queue<double, std::vector<double>, std::greater<>> outstanding;
+
+  double clock = start;
+  double busy = 0.0;
+  std::size_t remaining = warps.size();
+
+  auto drain_completed_mshrs = [&](double now) {
+    while (!outstanding.empty() && outstanding.top() <= now) outstanding.pop();
+  };
+
+  while (remaining > 0) {
+    // Pick the unparked, unfinished warp with the earliest ready time.
+    std::size_t pick = warps.size();
+    double best = kInfinity;
+    for (std::size_t i = 0; i < warps.size(); ++i) {
+      const WarpRt& w = warps[i];
+      if (w.parked || w.done()) continue;
+      if (w.ready < best) {
+        best = w.ready;
+        pick = i;
+      }
+    }
+    SPECKLE_CHECK(pick < warps.size(), "all warps parked: barrier deadlock");
+    WarpRt& w = warps[pick];
+
+    if (w.ready > clock) {
+      stats.stalls.add(w.reason, w.ready - clock);
+      clock = w.ready;
+    }
+    drain_completed_mshrs(clock);
+
+    const WarpOp& op = w.trace->ops[w.cursor];
+    ++w.cursor;
+
+    switch (op.kind) {
+      case OpKind::kCompute: {
+        const double issue_time = op.inst_count * issue_cost;
+        busy += issue_time;
+        clock += issue_time;
+        stats.warp_insts += op.inst_count;
+        w.ready = clock + dev_.compute_latency;
+        w.reason = Stall::kExecutionDependency;
+        break;
+      }
+      case OpKind::kSharedAccess: {
+        busy += issue_cost;
+        clock += issue_cost;
+        ++stats.warp_insts;
+        w.ready = clock + dev_.shared_latency;
+        w.reason = Stall::kExecutionDependency;
+        break;
+      }
+      case OpKind::kLoad: {
+        busy += issue_cost;
+        clock += issue_cost;
+        ++stats.warp_insts;
+        double max_done = clock;
+        double transaction_issue = clock;
+        bool throttled = false;
+        for (std::uint64_t line : op.addrs) {
+          // Each extra transaction of one warp instruction replays through
+          // the LSU one cycle later.
+          transaction_issue += 1.0;
+          // MSHR throttling: a full miss queue delays further misses. The
+          // delay extends this op's completion; the resulting scheduler gap
+          // is attributed below via the warp's stall reason.
+          drain_completed_mshrs(transaction_issue);
+          if (outstanding.size() >= dev_.mshrs_per_sm) {
+            const double free_at = outstanding.top();
+            outstanding.pop();
+            if (free_at > transaction_issue) {
+              transaction_issue = free_at;
+              throttled = true;
+            }
+          }
+          const MemorySystem::LoadResult r = memory_.load(sm, op.space, line);
+          ++stats.gld_transactions;
+          if (op.space == Space::kReadOnly) {
+            r.ro_hit ? ++stats.ro_hits : ++stats.ro_misses;
+          }
+          if (r.l2_hit) ++stats.l2_hits;
+          if (r.dram) {
+            ++stats.l2_misses;
+            ++outcome.dram_transactions;
+            stats.dram_bytes += dev_.dram_sector_bytes;
+            outstanding.push(transaction_issue + r.latency);
+          }
+          max_done = std::max(max_done, transaction_issue + r.latency);
+        }
+        w.ready = max_done;
+        // A warp waiting on its own load's data is a memory-dependency
+        // stall in profiler terms, even when MSHR queueing (throttled)
+        // lengthened the wait — kMemoryThrottle is reserved for warps that
+        // cannot issue at all (store-queue pressure, not modeled for loads).
+        (void)throttled;
+        w.reason = Stall::kMemoryDependency;
+        break;
+      }
+      case OpKind::kStore: {
+        busy += issue_cost;
+        clock += issue_cost;
+        ++stats.warp_insts;
+        for (std::uint64_t line : op.addrs) {
+          ++stats.gst_transactions;
+          if (memory_.store(line)) {
+            ++outcome.dram_transactions;
+            stats.dram_bytes += dev_.dram_sector_bytes;
+          }
+        }
+        // Stores are fire-and-forget: no dependency latency for the warp.
+        w.ready = clock;
+        w.reason = Stall::kExecutionDependency;
+        break;
+      }
+      case OpKind::kAtomic: {
+        busy += issue_cost;
+        clock += issue_cost;
+        ++stats.warp_insts;
+        double done = clock;
+        for (std::uint64_t addr : op.addrs) {
+          done = std::max(done, memory_.atomic(addr, clock));
+          ++stats.atomics;
+        }
+        w.ready = done;
+        w.reason = Stall::kAtomic;
+        break;
+      }
+      case OpKind::kSync: {
+        busy += issue_cost;
+        clock += issue_cost;
+        ++stats.warp_insts;
+        BarrierRt& barrier = barriers[w.block_slot];
+        ++barrier.arrived;
+        barrier.max_arrival = std::max(barrier.max_arrival, clock);
+        if (barrier.arrived == barrier.expected) {
+          for (std::uint32_t idx : barrier.waiting) {
+            warps[idx].parked = false;
+            warps[idx].ready = barrier.max_arrival;
+          }
+          w.ready = barrier.max_arrival;
+          w.reason = Stall::kSynchronization;
+          barrier.arrived = 0;
+          barrier.max_arrival = 0.0;
+          barrier.waiting.clear();
+        } else {
+          w.parked = true;
+          w.reason = Stall::kSynchronization;
+          w.ready = kInfinity;
+          barrier.waiting.push_back(static_cast<std::uint32_t>(pick));
+        }
+        break;
+      }
+    }
+
+    if (w.done()) --remaining;
+  }
+
+  stats.stalls.busy += busy;
+  outcome.finish = clock;
+  return outcome;
+}
+
+double TimingEngine::run_wave(const std::vector<std::vector<const BlockWork*>>& per_sm,
+                              double start, KernelStats& stats) {
+  SPECKLE_CHECK(per_sm.size() == dev_.num_sms, "per_sm must have one entry per SM");
+  std::vector<SmOutcome> outcomes(per_sm.size());
+  double finish = start;
+  std::uint64_t wave_dram = 0;
+  for (std::uint32_t sm = 0; sm < per_sm.size(); ++sm) {
+    outcomes[sm] = run_sm(sm, per_sm[sm], start, stats);
+    finish = std::max(finish, outcomes[sm].finish);
+    wave_dram += outcomes[sm].dram_transactions;
+  }
+
+  // DRAM bandwidth floor: the wave can't finish faster than its DRAM
+  // traffic (in 32-byte sectors) can be served. Queueing behind saturated
+  // bandwidth lengthens every load's effective latency, which profilers
+  // attribute to memory dependency — so the excess lands there.
+  const double min_duration = static_cast<double>(wave_dram) *
+                              dev_.dram_sector_bytes / dev_.dram_bytes_per_cycle();
+  if (finish - start < min_duration) {
+    const double excess = min_duration - (finish - start);
+    stats.stalls.add(Stall::kMemoryDependency, excess * dev_.num_sms);
+    finish = start + min_duration;
+  }
+
+  // Idle accounting: SMs that drained early, plus the scheduler-side view of
+  // total issue opportunities.
+  for (const SmOutcome& o : outcomes) {
+    const double sm_busy_until = std::max(o.finish, start);
+    stats.stalls.add(Stall::kIdle, finish - sm_busy_until);
+  }
+  stats.stalls.total += (finish - start) * dev_.num_sms;
+  return finish;
+}
+
+}  // namespace speckle::simt

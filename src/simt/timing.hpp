@@ -1,0 +1,55 @@
+#pragma once
+/// \file timing.hpp
+/// Event-driven per-SM warp scheduling over merged warp traces.
+///
+/// Each SM interleaves its resident warps: at every step the scheduler
+/// issues from the ready warp with the earliest ready-time, charging issue
+/// bandwidth (4 schedulers per Kepler SMX). A warp's ready-time advances by
+/// the latency of what it issued: ALU pipeline latency, the memory system's
+/// answer for each coalesced transaction (with MSHR throttling), atomic-unit
+/// completion, or a block barrier. Whenever the scheduler must jump forward
+/// in time, the gap is attributed to the stall reason of the warp that ends
+/// it — producing the Fig 3(b) breakdown. A wave's duration is additionally
+/// floored by the DRAM bandwidth its transactions consumed (Fig 3(a)'s
+/// achieved-bandwidth axis).
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/config.hpp"
+#include "simt/memory.hpp"
+#include "simt/stats.hpp"
+#include "simt/trace.hpp"
+
+namespace speckle::simt {
+
+/// One thread block's merged warp traces, ready for timing.
+struct BlockWork {
+  std::vector<WarpTrace> warps;
+};
+
+class TimingEngine {
+ public:
+  TimingEngine(const DeviceConfig& dev, MemorySystem& memory)
+      : dev_(dev), memory_(memory) {}
+
+  /// Simulate one wave. `per_sm[sm]` holds the blocks resident on that SM.
+  /// Returns the wave's end cycle; accumulates counters and stalls into
+  /// `stats`.
+  double run_wave(const std::vector<std::vector<const BlockWork*>>& per_sm,
+                  double start, KernelStats& stats);
+
+ private:
+  struct SmOutcome {
+    double finish = 0.0;
+    std::uint64_t dram_transactions = 0;
+  };
+
+  SmOutcome run_sm(std::uint32_t sm, const std::vector<const BlockWork*>& blocks,
+                   double start, KernelStats& stats);
+
+  const DeviceConfig& dev_;
+  MemorySystem& memory_;
+};
+
+}  // namespace speckle::simt

@@ -1,0 +1,115 @@
+#include "simt/trace.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace speckle::simt {
+
+void ThreadTrace::compute(std::uint32_t instructions) {
+  if (instructions == 0) return;
+  if (!ops_.empty() && ops_.back().kind == OpKind::kCompute &&
+      ops_.back().count + instructions <= 0xffff) {
+    ops_.back().count = static_cast<std::uint16_t>(ops_.back().count + instructions);
+    return;
+  }
+  while (instructions > 0xffff) {
+    ops_.push_back({OpKind::kCompute, Space::kGlobal, 0xffff, 0, 0});
+    instructions -= 0xffff;
+  }
+  ops_.push_back({OpKind::kCompute, Space::kGlobal,
+                  static_cast<std::uint16_t>(instructions), 0, 0});
+}
+
+void ThreadTrace::memory(OpKind kind, Space space, std::uint64_t addr,
+                         std::uint8_t size) {
+  ops_.push_back({kind, space, 1, addr, size});
+}
+
+void ThreadTrace::shared_access() {
+  ops_.push_back({OpKind::kSharedAccess, Space::kGlobal, 1, 0, 0});
+}
+
+void ThreadTrace::sync() {
+  ops_.push_back({OpKind::kSync, Space::kGlobal, 1, 0, 0});
+}
+
+std::vector<std::uint64_t> coalesce(std::span<const std::uint64_t> addrs,
+                                    std::span<const std::uint8_t> sizes,
+                                    std::uint32_t line_bytes) {
+  SPECKLE_CHECK(addrs.size() == sizes.size(), "coalesce: addr/size mismatch");
+  std::vector<std::uint64_t> lines;
+  lines.reserve(addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const std::uint64_t first = addrs[i] / line_bytes;
+    const std::uint64_t last = (addrs[i] + sizes[i] - 1) / line_bytes;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      lines.push_back(line * line_bytes);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  return lines;
+}
+
+WarpTrace merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes) {
+  SPECKLE_CHECK(!lanes.empty(), "merge_warp: no lanes");
+  WarpTrace trace;
+  std::vector<std::size_t> cursor(lanes.size(), 0);
+
+  // Scratch reused across iterations.
+  std::vector<std::uint64_t> addrs;
+  std::vector<std::uint8_t> sizes;
+
+  for (;;) {
+    // Find the leader: the lowest lane that still has ops and is NOT parked
+    // at a barrier — kSync is an alignment fence, so divergent lanes finish
+    // their pre-barrier work first and all lanes consume the barrier as one
+    // warp instruction. Its current op's (kind, space) selects which lanes
+    // participate this round; lanes whose current op differs are on a
+    // divergent path and wait their turn.
+    int leader = -1;
+    int sync_leader = -1;
+    for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+      if (cursor[lane] >= lanes[lane].ops().size()) continue;
+      if (lanes[lane].ops()[cursor[lane]].kind == OpKind::kSync) {
+        if (sync_leader < 0) sync_leader = static_cast<int>(lane);
+        continue;
+      }
+      leader = static_cast<int>(lane);
+      break;
+    }
+    if (leader < 0) leader = sync_leader;  // every live lane is at the barrier
+    if (leader < 0) break;
+    const ThreadOp& key = lanes[leader].ops()[cursor[leader]];
+
+    WarpOp op;
+    op.kind = key.kind;
+    op.space = key.space;
+    op.inst_count = 0;
+    op.active_lanes = 0;
+    addrs.clear();
+    sizes.clear();
+    for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+      if (cursor[lane] >= lanes[lane].ops().size()) continue;
+      const ThreadOp& cur = lanes[lane].ops()[cursor[lane]];
+      if (cur.kind != key.kind || cur.space != key.space) continue;
+      ++cursor[lane];
+      ++op.active_lanes;
+      op.inst_count = std::max(op.inst_count, cur.count);
+      if (cur.kind == OpKind::kLoad || cur.kind == OpKind::kStore) {
+        addrs.push_back(cur.addr);
+        sizes.push_back(cur.size);
+      } else if (cur.kind == OpKind::kAtomic) {
+        op.addrs.push_back(cur.addr);  // atomics keep per-lane word addresses
+      }
+    }
+    if (key.kind == OpKind::kLoad || key.kind == OpKind::kStore) {
+      op.addrs = coalesce(addrs, sizes, line_bytes);
+    }
+    trace.ops.push_back(std::move(op));
+  }
+  return trace;
+}
+
+}  // namespace speckle::simt

@@ -1,0 +1,88 @@
+#pragma once
+/// \file trace.hpp
+/// Per-thread operation traces and their merge into SIMT warp traces.
+///
+/// Functional execution runs each thread to completion, appending compact
+/// ops. At warp retirement the 32 per-lane streams are merged index-aligned:
+/// the i-th op of each still-active lane forms one warp instruction; lanes
+/// whose current op differs in kind (divergence) are serialized into
+/// separate warp instructions, and lanes that ran out of ops drop out —
+/// which is exactly how degree imbalance turns into SIMD underutilization
+/// on real hardware. Memory instructions are coalesced into 128-byte line
+/// transactions at merge time.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simt/config.hpp"
+
+namespace speckle::simt {
+
+enum class OpKind : std::uint8_t {
+  kCompute = 0,  ///< bundle of ALU work (count = instructions)
+  kLoad,
+  kStore,
+  kAtomic,
+  kSharedAccess,  ///< scratchpad load/store
+  kSync,          ///< block-wide barrier
+};
+
+enum class Space : std::uint8_t {
+  kGlobal = 0,   ///< normal global load/store (DRAM -> L2 -> registers)
+  kReadOnly,     ///< __ldg path (DRAM -> L2 -> per-SM read-only cache)
+};
+
+/// One dynamic operation of one thread.
+struct ThreadOp {
+  OpKind kind;
+  Space space;
+  std::uint16_t count;  ///< compute: #instructions; others: 1
+  std::uint64_t addr;   ///< device address (memory ops)
+  std::uint8_t size;    ///< access bytes (memory ops)
+};
+
+/// Append-only per-thread trace; adjacent compute ops are merged.
+class ThreadTrace {
+ public:
+  void compute(std::uint32_t instructions);
+  void memory(OpKind kind, Space space, std::uint64_t addr, std::uint8_t size);
+  void shared_access();
+  void sync();
+
+  std::span<const ThreadOp> ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+  void clear() { ops_.clear(); }
+
+ private:
+  std::vector<ThreadOp> ops_;
+};
+
+/// One SIMT instruction of a warp (post-merge, post-coalescing).
+struct WarpOp {
+  OpKind kind;
+  Space space;
+  std::uint16_t inst_count;   ///< compute: max instruction count over lanes
+  std::uint16_t active_lanes;
+  /// Memory ops: coalesced 128-byte line addresses.
+  /// Atomics: the per-lane word addresses (serialization is per address).
+  std::vector<std::uint64_t> addrs;
+};
+
+struct WarpTrace {
+  std::vector<WarpOp> ops;
+
+  std::uint64_t instruction_count() const { return ops.size(); }
+};
+
+/// Merge up to warp_size per-lane traces into a warp trace.
+/// `line_bytes` is the coalescing granularity.
+WarpTrace merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes);
+
+/// Coalesce lane addresses (each `size` bytes wide) into distinct line
+/// addresses. Exposed for direct testing.
+std::vector<std::uint64_t> coalesce(std::span<const std::uint64_t> addrs,
+                                    std::span<const std::uint8_t> sizes,
+                                    std::uint32_t line_bytes);
+
+}  // namespace speckle::simt

@@ -1,0 +1,56 @@
+#pragma once
+/// \file worklist.hpp
+/// A device-resident worklist: an item buffer plus a tail counter.
+///
+/// Two push disciplines, matching the paper's Section III-C:
+///   * Thread::scan_push — block-wide prefix-sum compaction, ONE global
+///     atomic per thread block (the paper's optimized data-driven scheme);
+///   * per-item atomics — the kernel bumps the tail itself with
+///     atomic_add + store (kept as the ablation baseline).
+///
+/// Double buffering (Algorithm 5 line 19): keep two Worklists and
+/// std::swap the references between iterations; nothing is copied.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "simt/buffer.hpp"
+#include "simt/device.hpp"
+
+namespace speckle::simt {
+
+class Worklist {
+ public:
+  /// `capacity` is the maximum item count a single generation can hold.
+  Worklist(Device& dev, std::size_t capacity)
+      : items_(dev.alloc<std::uint32_t>(capacity)), tail_(dev.alloc<std::uint32_t>(1)) {
+    tail_[0] = 0;
+  }
+
+  Buffer<std::uint32_t>& items() { return items_; }
+  const Buffer<std::uint32_t>& items() const { return items_; }
+  Buffer<std::uint32_t>& tail() { return tail_; }
+
+  /// Host-side size/reset (between kernel launches).
+  std::uint32_t size() const { return tail_[0]; }
+  bool empty() const { return size() == 0; }
+  void clear() { tail_[0] = 0; }
+
+  std::span<const std::uint32_t> host_items() const {
+    return items_.host().subspan(0, size());
+  }
+
+  /// Host-side fill (e.g. W <- V initialisation before the first launch).
+  void fill_iota(std::uint32_t count) {
+    SPECKLE_CHECK(count <= items_.size(), "worklist capacity exceeded");
+    for (std::uint32_t i = 0; i < count; ++i) items_[i] = i;
+    tail_[0] = count;
+  }
+
+ private:
+  Buffer<std::uint32_t> items_;
+  Buffer<std::uint32_t> tail_;
+};
+
+}  // namespace speckle::simt

@@ -1,0 +1,38 @@
+#pragma once
+/// \file check.hpp
+/// Always-on runtime checks and fatal-error reporting.
+///
+/// Unlike <cassert>, SPECKLE_CHECK stays active in release builds: the
+/// simulator and the graph builders validate untrusted structural input
+/// (file contents, generator parameters, device addresses), and silently
+/// continuing past a violated invariant would corrupt results rather than
+/// crash loudly.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace speckle::support {
+
+/// Print a fatal diagnostic and abort. Never returns.
+[[noreturn]] inline void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "speckle: fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace speckle::support
+
+/// Abort with a message if `cond` is false. Active in all build types.
+#define SPECKLE_CHECK(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::speckle::support::panic(__FILE__, __LINE__,                \
+                                std::string("check failed: ") +    \
+                                    #cond + " — " + (msg));        \
+    }                                                              \
+  } while (0)
+
+/// Unconditional failure (unreachable code paths, exhaustive switches).
+#define SPECKLE_UNREACHABLE(msg) \
+  ::speckle::support::panic(__FILE__, __LINE__, std::string("unreachable: ") + (msg))

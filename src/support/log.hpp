@@ -1,0 +1,40 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logging to stderr.
+///
+/// Benches and examples narrate progress at Info; the simulator emits
+/// per-kernel detail at Debug. The level is process-global and settable
+/// from the environment (SPECKLE_LOG=debug|info|warn|error) or code.
+
+#include <sstream>
+#include <string>
+
+namespace speckle::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current process-wide log level (initialised from $SPECKLE_LOG, default Info).
+LogLevel log_level();
+
+/// Override the process-wide log level.
+void set_log_level(LogLevel level);
+
+/// Emit one log line (adds level prefix and newline). Prefer the macros below.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace speckle::support
+
+#define SPECKLE_LOG_AT(lvl, expr)                                        \
+  do {                                                                   \
+    if (static_cast<int>(lvl) >=                                         \
+        static_cast<int>(::speckle::support::log_level())) {             \
+      std::ostringstream speckle_log_oss;                                \
+      speckle_log_oss << expr;                                           \
+      ::speckle::support::log_line(lvl, speckle_log_oss.str());          \
+    }                                                                    \
+  } while (0)
+
+#define SPECKLE_DEBUG(expr) SPECKLE_LOG_AT(::speckle::support::LogLevel::kDebug, expr)
+#define SPECKLE_INFO(expr) SPECKLE_LOG_AT(::speckle::support::LogLevel::kInfo, expr)
+#define SPECKLE_WARN(expr) SPECKLE_LOG_AT(::speckle::support::LogLevel::kWarn, expr)
+#define SPECKLE_ERROR(expr) SPECKLE_LOG_AT(::speckle::support::LogLevel::kError, expr)

@@ -1,0 +1,73 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace speckle::support {
+
+std::uint64_t mix64(std::uint64_t value) {
+  SplitMix64 sm(value);
+  return sm.next();
+}
+
+namespace {
+std::uint64_t rotl64(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl64(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  SPECKLE_CHECK(bound > 0, "next_below requires a positive bound");
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Xoshiro256::next_range(std::int64_t lo, std::int64_t hi) {
+  SPECKLE_CHECK(lo <= hi, "next_range requires lo <= hi");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Xoshiro256::next_bool(double p_true) { return next_double() < p_true; }
+
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  Xoshiro256 rng(seed);
+  shuffle(perm, rng);
+  return perm;
+}
+
+}  // namespace speckle::support

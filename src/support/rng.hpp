@@ -1,0 +1,78 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Everything in speckle that involves randomness — graph generators, the
+/// Jones–Plassmann priorities, csrcolor's hash functions, test sweeps —
+/// takes an explicit 64-bit seed and draws from these generators, so every
+/// experiment is bit-reproducible across runs and machines.
+
+#include <cstdint>
+#include <vector>
+
+namespace speckle::support {
+
+/// SplitMix64: tiny state, good avalanche; used to seed Xoshiro and as the
+/// stateless per-index hash behind csrcolor-style vertex hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of a 64-bit value (one SplitMix64 round). Suitable as a
+/// hash function family: different `seed` values give independent hashes.
+std::uint64_t mix64(std::uint64_t value);
+
+/// Xoshiro256**: the workhorse generator (fast, 256-bit state).
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw.
+  bool next_bool(double p_true);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(std::vector<T>& values, Xoshiro256& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+/// A random permutation of [0, n).
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, std::uint64_t seed);
+
+}  // namespace speckle::support

@@ -1,0 +1,135 @@
+// Extension-scheme tests: warp-centric D-warp, largest-degree-first D-ldf,
+// and 3-step GM option coverage.
+
+#include <gtest/gtest.h>
+
+#include "coloring/gm3step.hpp"
+#include "coloring/runner.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "coloring/warp.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace speckle;
+using namespace speckle::coloring;
+using graph::build_csr;
+using graph::CsrGraph;
+using graph::vid_t;
+
+struct GraphCase {
+  const char* name;
+  CsrGraph (*make)();
+};
+
+CsrGraph ext_er() { return build_csr(1500, graph::erdos_renyi(1500, 12000, 7)); }
+CsrGraph ext_skew() {
+  return build_csr(1 << 11, graph::rmat(11, 14000,
+                                        graph::RmatParams{0.5, 0.15, 0.15, 0.2, 0.1}, 5));
+}
+CsrGraph ext_grid() { return build_csr(1331, graph::stencil3d(11, 11, 11)); }
+CsrGraph ext_star() {
+  graph::EdgeList edges;
+  for (vid_t v = 1; v < 500; ++v) edges.push_back({0, v});
+  return build_csr(500, edges);
+}
+CsrGraph ext_clique() { return build_csr(70, graph::complete(70)); }
+
+class ExtSweep : public ::testing::TestWithParam<std::tuple<GraphCase, Scheme>> {};
+
+TEST_P(ExtSweep, ProperColoring) {
+  const auto& [graph_case, scheme] = GetParam();
+  const CsrGraph g = graph_case.make();
+  const RunResult r = run_scheme(scheme, g);
+  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_LE(r.num_colors, g.max_degree() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExtSchemes, ExtSweep,
+    ::testing::Combine(
+        ::testing::Values(GraphCase{"er", ext_er}, GraphCase{"skew", ext_skew},
+                          GraphCase{"grid", ext_grid}, GraphCase{"star", ext_star},
+                          GraphCase{"clique", ext_clique}),
+        ::testing::Values(Scheme::kDataWarp, Scheme::kDataLdf)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             (std::get<1>(info.param) == Scheme::kDataWarp ? "warp" : "ldf");
+    });
+
+TEST(DataWarp, CliqueExercisesWideWindowFallback) {
+  // 70-clique: every vertex's forbidden set eventually exceeds the 64-color
+  // cooperative window, forcing the lane-0 wide-window fallback.
+  const CsrGraph g = ext_clique();
+  const RunResult r = run_scheme(Scheme::kDataWarp, g);
+  EXPECT_EQ(r.num_colors, 70U);
+}
+
+TEST(DataWarp, BlockSizeMustBeWarpMultiple) {
+  const CsrGraph g = ext_er();
+  RunOptions opts;
+  opts.block_size = 48;
+  EXPECT_DEATH(run_scheme(Scheme::kDataWarp, g, opts), "warp-multiple");
+}
+
+TEST(DataWarp, WorksAcrossBlockSizes) {
+  const CsrGraph g = ext_skew();
+  for (std::uint32_t block : {32U, 128U, 256U, 1024U}) {
+    RunOptions opts;
+    opts.block_size = block;
+    const RunResult r = run_scheme(Scheme::kDataWarp, g, opts);
+    EXPECT_TRUE(verify_coloring(g, r.coloring).proper) << block;
+  }
+}
+
+TEST(DataLdf, QualityAtLeastMatchesBaseOnSkewedGraph) {
+  // The LDF tie-break lets hubs keep low colors; on skewed graphs it should
+  // not be worse than the id tie-break (and is typically a little better).
+  const CsrGraph g = ext_skew();
+  const RunResult base = run_scheme(Scheme::kDataBase, g);
+  const RunResult ldf = run_scheme(Scheme::kDataLdf, g);
+  EXPECT_LE(ldf.num_colors, base.num_colors + 1);
+}
+
+TEST(DataLdf, Deterministic) {
+  const CsrGraph g = ext_er();
+  EXPECT_EQ(run_scheme(Scheme::kDataLdf, g).coloring,
+            run_scheme(Scheme::kDataLdf, g).coloring);
+}
+
+TEST(Gm3Step, PartitionSizeSweepStaysProper) {
+  const CsrGraph g = ext_er();
+  for (std::uint32_t psize : {16U, 64U, 128U, 512U}) {
+    Gm3Options opts;
+    opts.partition_size = psize;
+    const Gm3Result r = gm3step_color(g, opts);
+    EXPECT_TRUE(verify_coloring(g, r.coloring).proper) << psize;
+  }
+}
+
+TEST(Gm3Step, MoreGpuRoundsLeaveFewerCpuConflicts) {
+  const CsrGraph g = ext_er();
+  Gm3Options one;
+  one.gpu_rounds = 1;
+  Gm3Options four;
+  four.gpu_rounds = 4;
+  const Gm3Result r1 = gm3step_color(g, one);
+  const Gm3Result r4 = gm3step_color(g, four);
+  EXPECT_TRUE(verify_coloring(g, r1.coloring).proper);
+  EXPECT_TRUE(verify_coloring(g, r4.coloring).proper);
+  EXPECT_LE(r4.cpu_resolved, r1.cpu_resolved);
+}
+
+TEST(Gm3Step, SinglePartitionIsSequentialOnDevice) {
+  // One partition = one thread colors everything: no conflicts possible.
+  const CsrGraph g = build_csr(128, graph::erdos_renyi(128, 512, 3));
+  Gm3Options opts;
+  opts.partition_size = 128;
+  const Gm3Result r = gm3step_color(g, opts);
+  EXPECT_EQ(r.cpu_resolved, 0U);
+  const auto seq = seq_greedy(g, {.charge_model = false});
+  EXPECT_EQ(r.num_colors, seq.num_colors);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// CPU-parallel references: Jones–Plassmann and the OpenMP GM scheme.
+
+#include <gtest/gtest.h>
+
+#include "coloring/gm_omp.hpp"
+#include "coloring/jp.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace speckle;
+using namespace speckle::coloring;
+using graph::build_csr;
+using graph::CsrGraph;
+
+struct GraphCase {
+  const char* name;
+  CsrGraph (*make)();
+};
+
+CsrGraph make_er() { return build_csr(600, graph::erdos_renyi(600, 4200, 7)); }
+CsrGraph make_grid() { return build_csr(400, graph::stencil2d(20, 20)); }
+CsrGraph make_rmat() {
+  return build_csr(1 << 10, graph::rmat(10, 6000, graph::RmatParams{0.45, 0.15, 0.15, 0.25, 0.1}, 3));
+}
+CsrGraph make_ring() { return build_csr(501, graph::ring_lattice(501, 2)); }
+CsrGraph make_local() { return build_csr(800, graph::local_random(800, 1, 7, 60, 11)); }
+
+class ParallelCpuSweep : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(ParallelCpuSweep, JonesPlassmannIsProper) {
+  const CsrGraph g = GetParam().make();
+  const JpResult r = jones_plassmann(g);
+  EXPECT_TRUE(verify_coloring(g, r.coloring).proper) << GetParam().name;
+  EXPECT_GE(r.rounds, 1U);
+  EXPECT_EQ(r.num_colors, r.rounds);  // JP assigns one color per round
+}
+
+TEST_P(ParallelCpuSweep, GmOpenMpIsProper) {
+  const CsrGraph g = GetParam().make();
+  const GmOmpResult r = gm_openmp(g);
+  EXPECT_TRUE(verify_coloring(g, r.coloring).proper) << GetParam().name;
+  EXPECT_LE(r.num_colors, g.max_degree() + 1);
+}
+
+TEST_P(ParallelCpuSweep, GmOmpQualityTracksSequential) {
+  // The speculative scheme's selling point: colors close to sequential
+  // greedy (within 2x is a loose but meaningful envelope; typically equal).
+  const CsrGraph g = GetParam().make();
+  const auto seq = seq_greedy(g, {.charge_model = false});
+  const auto gm = gm_openmp(g);
+  EXPECT_LE(gm.num_colors, 2 * seq.num_colors) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ParallelCpuSweep,
+    ::testing::Values(GraphCase{"er", make_er}, GraphCase{"grid", make_grid},
+                      GraphCase{"rmat", make_rmat}, GraphCase{"ring", make_ring},
+                      GraphCase{"local", make_local}),
+    [](const ::testing::TestParamInfo<GraphCase>& info) { return info.param.name; });
+
+TEST(JonesPlassmann, DeterministicForSeed) {
+  const CsrGraph g = make_er();
+  const JpResult a = jones_plassmann(g, {.seed = 5});
+  const JpResult b = jones_plassmann(g, {.seed = 5});
+  EXPECT_EQ(a.coloring, b.coloring);
+}
+
+TEST(JonesPlassmann, SeedChangesColoring) {
+  const CsrGraph g = make_er();
+  const JpResult a = jones_plassmann(g, {.seed = 5});
+  const JpResult b = jones_plassmann(g, {.seed = 6});
+  EXPECT_NE(a.coloring, b.coloring);
+}
+
+TEST(JonesPlassmann, RedrawVariantAlsoProper) {
+  const CsrGraph g = make_rmat();
+  const JpResult r = jones_plassmann(g, {.seed = 1, .redraw_priorities = true});
+  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+}
+
+TEST(JonesPlassmann, EmptyGraph) {
+  const JpResult r = jones_plassmann(CsrGraph());
+  EXPECT_EQ(r.num_colors, 0U);
+  EXPECT_EQ(r.rounds, 0U);
+}
+
+TEST(GmOpenMp, SingleThreadHasNoConflicts) {
+  const CsrGraph g = make_er();
+  const GmOmpResult r = gm_openmp(g, {.num_threads = 1});
+  // One thread colors sequentially: speculation never conflicts.
+  EXPECT_EQ(r.total_conflicts, 0U);
+  EXPECT_EQ(r.rounds, 1U);
+}
+
+TEST(GmOpenMp, MatchesSequentialWhenSingleThreaded) {
+  const CsrGraph g = make_grid();
+  const auto seq = seq_greedy(g, {.charge_model = false});
+  const GmOmpResult gm = gm_openmp(g, {.num_threads = 1});
+  EXPECT_EQ(gm.coloring, seq.coloring);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Iterated-greedy refinement tests.
+
+#include <gtest/gtest.h>
+
+#include "coloring/refine.hpp"
+#include "coloring/runner.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace speckle;
+using namespace speckle::coloring;
+using graph::build_csr;
+using graph::CsrGraph;
+using graph::vid_t;
+
+TEST(Refine, NeverIncreasesColorsAndStaysProper) {
+  const CsrGraph g = build_csr(1200, graph::erdos_renyi(1200, 9000, 3));
+  const auto seq = seq_greedy(g, {.charge_model = false});
+  const RefineResult r = iterated_greedy(g, seq.coloring);
+  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_LE(r.colors_after, r.colors_before);
+}
+
+TEST(Refine, ImprovesDeliberatelyBadColoring) {
+  // A bipartite graph colored with one color per vertex: refinement must
+  // collapse this dramatically (to at most a handful of classes).
+  const CsrGraph g = build_csr(64, graph::stencil2d(8, 8));
+  Coloring wasteful(64);
+  for (vid_t v = 0; v < 64; ++v) wasteful[v] = v + 1;
+  const RefineResult r = iterated_greedy(g, wasteful, {.rounds = 8});
+  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_EQ(r.colors_before, 64U);
+  EXPECT_LE(r.colors_after, 4U);
+}
+
+TEST(Refine, RecoversSpeculationLossOnSkewedGraph) {
+  // D-base loses a couple of colors to speculation on rmat-g-like graphs;
+  // a refinement pass should claw most of that back.
+  const CsrGraph g = build_csr(
+      1 << 11,
+      graph::rmat(11, 14000, graph::RmatParams{0.5, 0.15, 0.15, 0.2, 0.1}, 5));
+  const RunResult gpu = run_scheme(Scheme::kDataBase, g);
+  const auto seq = seq_greedy(g, {.charge_model = false});
+  const RefineResult r = iterated_greedy(g, gpu.coloring);
+  EXPECT_LE(r.colors_after, gpu.num_colors);
+  EXPECT_LE(r.colors_after, seq.num_colors + 2);
+}
+
+TEST(Refine, LargestFirstOrderAlsoValid) {
+  const CsrGraph g = build_csr(800, graph::local_random(800, 1, 6, 60, 9));
+  const auto seq = seq_greedy(g, {.charge_model = false});
+  RefineOptions opts;
+  opts.order = ClassOrder::kLargestFirst;
+  const RefineResult r = iterated_greedy(g, seq.coloring, opts);
+  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_LE(r.colors_after, r.colors_before);
+}
+
+TEST(Refine, StopsEarlyWhenConverged) {
+  const CsrGraph g = build_csr(10, graph::ring_lattice(10, 1));
+  const auto seq = seq_greedy(g, {.charge_model = false});  // already 2 colors
+  const RefineResult r = iterated_greedy(g, seq.coloring, {.rounds = 100});
+  EXPECT_LE(r.rounds_run, 1U);
+  EXPECT_EQ(r.colors_after, 2U);
+}
+
+TEST(RefineDeathTest, RejectsImproperInput) {
+  const CsrGraph g = build_csr(2, {{0, 1}});
+  Coloring bad = {1, 1};
+  EXPECT_DEATH(iterated_greedy(g, bad), "proper");
+}
+
+}  // namespace

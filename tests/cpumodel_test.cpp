@@ -1,0 +1,71 @@
+// CPU cost-model tests: locality sensitivity and configuration scaling.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpumodel/cpu_model.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace speckle::cpumodel;
+
+TEST(CpuModel, ComputeChargesAtIpc) {
+  CpuModel model;
+  model.compute(100);
+  EXPECT_DOUBLE_EQ(model.cycles(), 100.0 / model.config().ipc);
+}
+
+TEST(CpuModel, RepeatedTouchHitsL1) {
+  CpuModel model;
+  int x = 0;
+  model.touch_read(&x);
+  const double first = model.cycles();
+  model.touch_read(&x);
+  EXPECT_DOUBLE_EQ(model.cycles() - first, model.config().l1_cost);
+  EXPECT_GT(first, model.config().l1_cost);  // the cold miss went to DRAM
+}
+
+TEST(CpuModel, SequentialCheaperThanRandom) {
+  // Working set larger than L3 so random access pays DRAM repeatedly.
+  CpuConfig config = CpuConfig::xeon_e5_2670().scaled(64);
+  const std::size_t n = (config.l3_bytes / 4) * 8;
+  std::vector<std::uint32_t> data(n, 1);
+
+  CpuModel sequential(config);
+  for (std::size_t i = 0; i < n; ++i) sequential.touch_read(&data[i]);
+
+  CpuModel random(config);
+  speckle::support::Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    random.touch_read(&data[rng.next_below(n)]);
+  }
+  EXPECT_GT(random.cycles(), 3.0 * sequential.cycles());
+  EXPECT_GT(random.dram_accesses(), sequential.dram_accesses());
+}
+
+TEST(CpuModel, StraddlingTouchCostsTwoLines) {
+  CpuModel model;
+  alignas(64) std::array<char, 128> buf{};
+  model.touch_read(buf.data() + 62, 4);  // straddles the 64-byte boundary
+  CpuModel single;
+  single.touch_read(buf.data(), 4);
+  EXPECT_GT(model.cycles(), single.cycles());
+}
+
+TEST(CpuModel, MsUsesClock) {
+  CpuModel model;
+  model.compute(2.6e6 * 2);  // 2.6M cycles at ipc=2 -> 1 ms at 2.6 GHz
+  EXPECT_NEAR(model.ms(), 1.0, 1e-9);
+}
+
+TEST(CpuConfig, ScaledShrinksCaches) {
+  const CpuConfig base = CpuConfig::xeon_e5_2670();
+  const CpuConfig scaled = base.scaled(8);
+  EXPECT_EQ(scaled.l3_bytes, base.l3_bytes / 8);
+  EXPECT_EQ(scaled.dram_cost, base.dram_cost);
+  EXPECT_EQ(scaled.l1_bytes % (scaled.line_bytes * scaled.l1_ways), 0U);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Randomized property tests: arbitrary edge soups through the builder and
+// every coloring scheme. Seeds are fixed, so failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include "coloring/runner.hpp"
+#include "graph/builder.hpp"
+#include "graph/permute.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace speckle;
+using namespace speckle::coloring;
+using graph::build_csr;
+using graph::CsrGraph;
+using graph::Edge;
+using graph::EdgeList;
+using graph::vid_t;
+
+/// Random edge soup: duplicates, self loops, both directions, all allowed —
+/// the builder must clean everything up.
+CsrGraph random_soup(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  const auto n = static_cast<vid_t>(2 + rng.next_below(600));
+  const auto m = rng.next_below(4 * n + 1);
+  EdgeList edges;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    edges.push_back({static_cast<vid_t>(rng.next_below(n)),
+                     static_cast<vid_t>(rng.next_below(n))});
+  }
+  return build_csr(n, std::move(edges));
+}
+
+class FuzzBuilder : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzBuilder, CsrInvariantsHold) {
+  const CsrGraph g = random_soup(static_cast<std::uint64_t>(GetParam()));
+  EXPECT_TRUE(g.is_symmetric());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto adj = g.neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      EXPECT_NE(adj[i], v);                       // no self loops
+      if (i > 0) EXPECT_LT(adj[i - 1], adj[i]);   // sorted, deduplicated
+    }
+  }
+}
+
+TEST_P(FuzzBuilder, PermutationRoundTripPreservesEdges) {
+  const CsrGraph g = random_soup(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const auto perm = support::random_permutation(
+      g.num_vertices(), static_cast<std::uint64_t>(GetParam()));
+  std::vector<vid_t> inverse(perm.size());
+  for (vid_t v = 0; v < perm.size(); ++v) inverse[perm[v]] = v;
+  const CsrGraph back =
+      graph::permute(graph::permute(g, perm), std::span<const vid_t>(inverse));
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = back.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBuilder, ::testing::Range(0, 20));
+
+class FuzzSchemes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSchemes, EverySchemeProperOnRandomGraph) {
+  const CsrGraph g = random_soup(static_cast<std::uint64_t>(GetParam()) + 5000);
+  RunOptions opts;
+  opts.seed = static_cast<std::uint64_t>(GetParam());
+  for (Scheme s : all_schemes()) {
+    // run_scheme verifies internally and aborts on an improper result.
+    const RunResult r = run_scheme(s, g, opts);
+    EXPECT_EQ(r.coloring.size(), g.num_vertices()) << scheme_name(s);
+    if (g.num_edges() > 0) EXPECT_GE(r.num_colors, 2U) << scheme_name(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSchemes, ::testing::Range(0, 8));
+
+TEST(Fuzz, SchemesAgreeThatColoringIsOrderingDependentNotCorrectness) {
+  // Relabeling a graph changes every scheme's coloring but never its
+  // validity — and color counts stay within the greedy bound.
+  const CsrGraph g = random_soup(424242);
+  const CsrGraph h = graph::permute_random(g, 7);
+  for (Scheme s : {Scheme::kDataBase, Scheme::kTopoBase, Scheme::kCsrColor}) {
+    const RunResult rg = run_scheme(s, g);
+    const RunResult rh = run_scheme(s, h);
+    if (s != Scheme::kCsrColor) {
+      EXPECT_LE(rg.num_colors, g.max_degree() + 1);
+      EXPECT_LE(rh.num_colors, h.max_degree() + 1);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Matrix Market I/O tests: round trips, header variants, malformed input.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/matrix_market.hpp"
+
+namespace {
+
+using namespace speckle::graph;
+
+TEST(MatrixMarket, RoundTripPreservesStructure) {
+  const CsrGraph g = build_csr(64, erdos_renyi(64, 200, 5));
+  std::stringstream buffer;
+  write_matrix_market(g, buffer);
+  const CsrGraph h = read_matrix_market(buffer, "roundtrip");
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(MatrixMarket, ParsesGeneralRealWithValues) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 2 0.5\n"
+      "2 1 0.5\n"
+      "3 3 9.0\n"   // diagonal entry: dropped as a self loop
+      "1 3 -2.0\n");
+  const CsrGraph g = read_matrix_market(in, "test");
+  EXPECT_EQ(g.num_vertices(), 3U);
+  EXPECT_EQ(g.num_edges(), 4U);  // 1-2 and 1-3, both directions
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(MatrixMarket, SymmetricStorageExpands) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 1\n");
+  const CsrGraph g = read_matrix_market(in, "sym");
+  EXPECT_EQ(g.num_edges(), 4U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(MatrixMarket, IntegerFieldAccepted) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 7\n");
+  const CsrGraph g = read_matrix_market(in, "int");
+  EXPECT_EQ(g.num_edges(), 2U);
+}
+
+TEST(MatrixMarketDeathTest, RejectsMissingBanner) {
+  std::stringstream in("3 3 0\n");
+  EXPECT_DEATH(read_matrix_market(in, "bad"), "banner");
+}
+
+TEST(MatrixMarketDeathTest, RejectsNonSquare) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 0\n");
+  EXPECT_DEATH(read_matrix_market(in, "rect"), "square");
+}
+
+TEST(MatrixMarketDeathTest, RejectsOutOfRangeIndex) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 9\n");
+  EXPECT_DEATH(read_matrix_market(in, "oob"), "out of range");
+}
+
+TEST(MatrixMarketDeathTest, RejectsTruncatedFile) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 3\n"
+      "1 2\n");
+  EXPECT_DEATH(read_matrix_market(in, "trunc"), "fewer entries");
+}
+
+TEST(MatrixMarketDeathTest, RejectsUnknownFile) {
+  EXPECT_DEATH(read_matrix_market("/nonexistent/file.mtx"), "cannot open");
+}
+
+}  // namespace

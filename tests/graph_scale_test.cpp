@@ -1,0 +1,47 @@
+// Scale-stability of the suite factory: the per-vertex structure that the
+// experiments depend on must not drift as --denom changes.
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/suite.hpp"
+
+namespace {
+
+using namespace speckle::graph;
+
+class SuiteScale : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuiteScale, AverageDegreeStableAcrossScales) {
+  const std::string name = GetParam();
+  const DegreeReport coarse = analyze_degrees(make_suite_graph(name, 128));
+  const DegreeReport fine = analyze_degrees(make_suite_graph(name, 32));
+  // Boundary effects shrink as graphs grow, so allow 20% drift.
+  EXPECT_NEAR(coarse.avg_degree, fine.avg_degree, 0.20 * fine.avg_degree) << name;
+}
+
+TEST_P(SuiteScale, VertexCountScalesByDenomRatio) {
+  const std::string name = GetParam();
+  const auto coarse = make_suite_graph(name, 128).num_vertices();
+  const auto fine = make_suite_graph(name, 32).num_vertices();
+  const double ratio = static_cast<double>(fine) / coarse;
+  EXPECT_NEAR(ratio, 4.0, 1.0) << name;  // grid rounding allows some slack
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, SuiteScale,
+                         ::testing::Values("rmat-er", "rmat-g", "thermal2",
+                                           "atmosmodd", "Hamrle3", "G3_circuit"));
+
+TEST(SuiteScale, SeedChangesRandomTwinsOnly) {
+  // Random generators react to the seed; pure stencils do not.
+  EXPECT_NE(make_suite_graph("rmat-er", 128, 1).col_indices().size(),
+            0U);  // sanity
+  const CsrGraph a = make_suite_graph("Hamrle3", 128, 1);
+  const CsrGraph b = make_suite_graph("Hamrle3", 128, 2);
+  EXPECT_NE(a.num_edges(), b.num_edges());
+  const CsrGraph s1 = make_suite_graph("atmosmodd", 128, 1);
+  const CsrGraph s2 = make_suite_graph("atmosmodd", 128, 2);
+  EXPECT_EQ(s1.num_edges(), s2.num_edges());  // deterministic stencil
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Cache model unit tests: hit/miss behavior, LRU replacement, associativity.
+
+#include <gtest/gtest.h>
+
+#include "simt/cache.hpp"
+
+namespace {
+
+using speckle::simt::CacheModel;
+
+TEST(Cache, ColdMissThenHit) {
+  CacheModel cache(1024, 128, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_EQ(cache.hits(), 1U);
+  EXPECT_EQ(cache.misses(), 1U);
+}
+
+TEST(Cache, DistinctLinesAreIndependent) {
+  CacheModel cache(1024, 128, 2);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(128));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(128));
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 2-way, 4 sets: lines 0, 4, 8 (in units of num_sets stride) collide.
+  CacheModel cache(1024, 128, 2);  // 4 sets
+  const std::uint64_t stride = 4 * 128;
+  cache.access(0 * stride);  // miss, way 0
+  cache.access(1 * stride);  // miss, way 1
+  cache.access(0 * stride);  // hit, refreshes LRU
+  cache.access(2 * stride);  // miss, evicts 1*stride (LRU)
+  EXPECT_TRUE(cache.access(0 * stride));
+  EXPECT_FALSE(cache.access(1 * stride));  // was evicted
+}
+
+TEST(Cache, FullyAssociativeSet) {
+  CacheModel cache(512, 128, 4);  // 1 set, 4 ways
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_FALSE(cache.access(i * 128));
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(cache.access(i * 128));
+  cache.access(4 * 128);                // evicts line 0 (LRU)
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Cache, ProbeDoesNotFill) {
+  CacheModel cache(1024, 128, 2);
+  EXPECT_FALSE(cache.probe(0));
+  EXPECT_FALSE(cache.access(0));  // still a miss: probe did not allocate
+  EXPECT_TRUE(cache.probe(0));
+}
+
+TEST(Cache, InvalidateAllEmpties) {
+  CacheModel cache(1024, 128, 2);
+  cache.access(0);
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Cache, CounterReset) {
+  CacheModel cache(1024, 128, 2);
+  cache.access(0);
+  cache.access(0);
+  cache.reset_counters();
+  EXPECT_EQ(cache.hits(), 0U);
+  EXPECT_EQ(cache.misses(), 0U);
+}
+
+TEST(CacheDeathTest, RejectsMisalignedAccess) {
+  CacheModel cache(1024, 128, 2);
+  EXPECT_DEATH(cache.access(4), "line-aligned");
+}
+
+TEST(CacheDeathTest, RejectsBadGeometry) {
+  EXPECT_DEATH(CacheModel(1000, 128, 2), "divisible");
+}
+
+}  // namespace

@@ -1,0 +1,325 @@
+// End-to-end simulator tests: functional kernel execution, the __ldg and
+// scan-push mechanisms, racy-store visibility, occupancy/block-size timing
+// effects, transfers, and stall accounting.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simt/device.hpp"
+#include "simt/worklist.hpp"
+
+namespace {
+
+using namespace speckle::simt;
+
+TEST(Device, BufferAddressesAreDisjointAndAligned) {
+  Device dev;
+  auto a = dev.alloc<std::uint32_t>(100);
+  auto b = dev.alloc<std::uint32_t>(100);
+  EXPECT_EQ(a.base_addr() % 256, 0U);
+  EXPECT_EQ(b.base_addr() % 256, 0U);
+  EXPECT_GE(b.base_addr(), a.base_addr() + 100 * sizeof(std::uint32_t));
+  EXPECT_EQ(a.addr_of(3), a.base_addr() + 12);
+}
+
+TEST(Device, VectorAddIsFunctionallyCorrect) {
+  Device dev;
+  const std::size_t n = 1000;
+  auto a = dev.alloc<std::uint32_t>(n);
+  auto b = dev.alloc<std::uint32_t>(n);
+  auto c = dev.alloc<std::uint32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::uint32_t>(i);
+    b[i] = static_cast<std::uint32_t>(2 * i);
+  }
+  dev.launch({.grid_blocks = 8, .block_threads = 128}, "vadd", [&](Thread& t) {
+    const auto i = t.global_id();
+    if (i >= n) return;
+    t.st(c, i, t.ld(a, i) + t.ld(b, i));
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(c[i], 3 * i);
+}
+
+TEST(Device, KernelStatsCountTransactions) {
+  Device dev;
+  const std::size_t n = 1024;
+  auto src = dev.alloc<std::uint32_t>(n);
+  auto dst = dev.alloc<std::uint32_t>(n);
+  const auto& stats =
+      dev.launch({.grid_blocks = 8, .block_threads = 128}, "copy", [&](Thread& t) {
+        const auto i = t.global_id();
+        if (i >= n) return;
+        t.st(dst, i, t.ld(src, i));
+      });
+  // 1024 coalesced 4-byte loads = 32 lanes/line -> 32 read transactions.
+  EXPECT_EQ(stats.gld_transactions, n / 32);
+  EXPECT_EQ(stats.gst_transactions, n / 32);
+  EXPECT_GT(stats.cycles, 0U);
+  EXPECT_GT(stats.warp_insts, 0U);
+}
+
+TEST(Device, LdgPopulatesRoCounters) {
+  Device dev;
+  const std::size_t n = 1024;
+  auto src = dev.alloc<std::uint32_t>(n);
+  auto dst = dev.alloc<std::uint32_t>(n);
+  // Two reads of the same element per thread: second hits the RO cache.
+  const auto& stats =
+      dev.launch({.grid_blocks = 8, .block_threads = 128}, "ldg2x", [&](Thread& t) {
+        const auto i = t.global_id();
+        if (i >= n) return;
+        const auto x = t.ldg(src, i);
+        const auto y = t.ldg(src, i);
+        t.st(dst, i, x + y);
+      });
+  EXPECT_EQ(stats.ro_hits + stats.ro_misses, 2 * n / 32);
+  EXPECT_EQ(stats.ro_hits, n / 32);  // the second access per line
+}
+
+TEST(Device, PlainLoadsDoNotTouchRoCounters) {
+  Device dev;
+  auto src = dev.alloc<std::uint32_t>(256);
+  auto dst = dev.alloc<std::uint32_t>(256);
+  const auto& stats =
+      dev.launch({.grid_blocks = 2, .block_threads = 128}, "ld", [&](Thread& t) {
+        t.st(dst, t.global_id(), t.ld(src, t.global_id()));
+      });
+  EXPECT_EQ(stats.ro_hits + stats.ro_misses, 0U);
+}
+
+TEST(Device, AtomicAddIsSequentiallyConsistentFunctionally) {
+  Device dev;
+  auto counter = dev.alloc<std::uint32_t>(1);
+  counter[0] = 0;
+  dev.launch({.grid_blocks = 4, .block_threads = 64}, "count",
+             [&](Thread& t) { t.atomic_add(counter, 0, 1U); });
+  EXPECT_EQ(counter[0], 256U);
+}
+
+TEST(Device, AtomicCasAndMinMax) {
+  Device dev;
+  auto cell = dev.alloc<std::uint32_t>(3);
+  cell[0] = 10;
+  cell[1] = 10;
+  cell[2] = 10;
+  dev.launch({.grid_blocks = 1, .block_threads = 1}, "rmw", [&](Thread& t) {
+    EXPECT_EQ(t.atomic_min(cell, 0, 3U), 10U);
+    EXPECT_EQ(t.atomic_max(cell, 1, 99U), 10U);
+    EXPECT_EQ(t.atomic_cas(cell, 2, 10U, 42U), 10U);
+    EXPECT_EQ(t.atomic_cas(cell, 2, 10U, 7U), 42U);  // fails: not 10 anymore
+  });
+  EXPECT_EQ(cell[0], 3U);
+  EXPECT_EQ(cell[1], 99U);
+  EXPECT_EQ(cell[2], 42U);
+}
+
+TEST(Device, StRacyInvisibleWithinWarpVisibleAfter) {
+  Device dev;
+  const std::uint32_t n = 64;  // two warps in one block
+  auto data = dev.alloc<std::uint32_t>(n);
+  auto seen = dev.alloc<std::uint32_t>(n);
+  data.fill(0);
+  dev.launch({.grid_blocks = 1, .block_threads = n}, "racy", [&](Thread& t) {
+    const auto i = t.global_id();
+    // Every thread reads its left neighbor's slot, then racy-writes its own.
+    const std::uint32_t left = i > 0 ? t.ld(data, i - 1) : 0;
+    t.st(seen, i, left);
+    t.st_racy(data, i, 1U);
+  });
+  // Lanes 1..31 of warp 0 read lane 0..30's writes -> must see 0 (deferred).
+  for (std::uint32_t i = 1; i < 32; ++i) EXPECT_EQ(seen[i], 0U) << i;
+  // Lane 32 (warp 1) reads lane 31's slot AFTER warp 0 retired -> sees 1.
+  EXPECT_EQ(seen[32], 1U);
+  // All writes landed eventually.
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(data[i], 1U);
+}
+
+TEST(Device, ScanPushCompactsInThreadOrderWithOneAtomic) {
+  Device dev;
+  const std::uint32_t n = 256;
+  Worklist wl(dev, n);
+  const auto& stats =
+      dev.launch({.grid_blocks = 2, .block_threads = 128}, "push", [&](Thread& t) {
+        const auto i = static_cast<std::uint32_t>(t.global_id());
+        if (i % 3 == 0) t.scan_push(wl, i);
+      });
+  // Functional: every multiple of 3, in order within each block.
+  ASSERT_EQ(wl.size(), (n + 2) / 3);
+  const auto items = wl.host_items();
+  std::vector<std::uint32_t> sorted(items.begin(), items.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t k = 0; k < sorted.size(); ++k) EXPECT_EQ(sorted[k], 3 * k);
+  // Timing: exactly ONE tail atomic per block (Fig 5's whole point).
+  EXPECT_EQ(stats.atomics, 2U);
+}
+
+TEST(Device, ScanPushOrderIsBlockMajorThreadOrder) {
+  Device dev;
+  Worklist wl(dev, 64);
+  dev.launch({.grid_blocks = 1, .block_threads = 64}, "push_all",
+             [&](Thread& t) { t.scan_push(wl, static_cast<std::uint32_t>(t.global_id())); });
+  const auto items = wl.host_items();
+  ASSERT_EQ(items.size(), 64U);
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(items[i], i);
+}
+
+TEST(Device, PerItemAtomicPushCostsMoreAtomics) {
+  Device dev;
+  Worklist scan_wl(dev, 1024), atomic_wl(dev, 1024);
+  const auto& scan_stats =
+      dev.launch({.grid_blocks = 8, .block_threads = 128}, "scan", [&](Thread& t) {
+        t.scan_push(scan_wl, static_cast<std::uint32_t>(t.global_id()));
+      });
+  const auto& atomic_stats =
+      dev.launch({.grid_blocks = 8, .block_threads = 128}, "atomic", [&](Thread& t) {
+        const auto slot = t.atomic_add(atomic_wl.tail(), 0, 1U);
+        t.st(atomic_wl.items(), slot, static_cast<std::uint32_t>(t.global_id()));
+      });
+  EXPECT_EQ(scan_wl.size(), atomic_wl.size());
+  EXPECT_EQ(scan_stats.atomics, 8U);      // one per block
+  EXPECT_EQ(atomic_stats.atomics, 1024U);  // one per item
+  // Same-address serialization makes the per-item variant slower.
+  EXPECT_GT(atomic_stats.cycles, scan_stats.cycles);
+}
+
+TEST(Device, PhasedLaunchSynchronizesSharedMemory) {
+  Device dev;
+  const std::uint32_t block = 128;
+  auto out = dev.alloc<std::uint32_t>(block);
+  // Phase 1: each thread writes its id to scratchpad; phase 2: each thread
+  // reads its neighbor's slot — correct only if the barrier worked.
+  std::vector<Kernel> phases = {
+      [&](Thread& t) { t.shared_st(t.thread_in_block(), t.thread_in_block() + 100); },
+      [&](Thread& t) {
+        const auto other = (t.thread_in_block() + 1) % block;
+        t.st(out, t.thread_in_block(), t.shared_ld(other));
+      },
+  };
+  dev.launch_phased({.grid_blocks = 1,
+                     .block_threads = block,
+                     .regs_per_thread = 32,
+                     .smem_bytes_per_block = block * 4},
+                    "phased", phases);
+  for (std::uint32_t i = 0; i < block; ++i) EXPECT_EQ(out[i], (i + 1) % block + 100);
+}
+
+TEST(Device, BlockSize32CannotHideLatency) {
+  // A latency-bound dependent-chase kernel: 32-thread blocks put few warps
+  // on each SM, so the chase latency cannot be hidden by interleaving and
+  // the grid needs many more waves (Fig 8's left edge).
+  auto run = [&](std::uint32_t block) {
+    Device dev(DeviceConfig::k20c().scaled(64));  // DRAM-resident working set
+    const std::uint32_t n = 1 << 16;
+    auto idx = dev.alloc<std::uint32_t>(n);
+    auto out = dev.alloc<std::uint32_t>(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    const auto& stats = dev.launch(
+        {.grid_blocks = n / block, .block_threads = block}, "chain", [&](Thread& t) {
+          const auto i = static_cast<std::uint32_t>(t.global_id());
+          // Four serially-dependent, warp-coalesced loads: pure latency,
+          // negligible bandwidth — hiding capacity is all that matters.
+          std::uint32_t acc = 0;
+          for (std::uint32_t hop = 0; hop < 4; ++hop) {
+            acc += t.ld(idx, (i + hop * (n / 4)) % n);
+            t.compute(2);
+          }
+          t.st(out, i, acc);
+        });
+    return stats.cycles;
+  };
+  EXPECT_GT(run(32), run(128));
+}
+
+TEST(Device, StallBreakdownAccountsAllCycles) {
+  Device dev;
+  const std::uint32_t n = 1 << 14;
+  auto src = dev.alloc<std::uint32_t>(n);
+  auto dst = dev.alloc<std::uint32_t>(n);
+  const auto& stats =
+      dev.launch({.grid_blocks = n / 128, .block_threads = 128}, "s", [&](Thread& t) {
+        const auto i = t.global_id();
+        t.st(dst, i, t.ld(src, i) + 1);
+      });
+  double accounted = stats.stalls.busy;
+  for (std::size_t r = 0; r < stats.stalls.cycles.size(); ++r) {
+    accounted += stats.stalls.cycles[r];
+  }
+  // busy + stalls >= total issue opportunities observed (gaps are counted
+  // once per stalled SM, busy in issue-slots) — sanity: nothing negative,
+  // total positive, and memory dependency dominates for this kernel.
+  EXPECT_GT(stats.stalls.total, 0.0);
+  const auto mem_frac = stats.stalls.fraction(Stall::kMemoryDependency);
+  const auto exec_frac = stats.stalls.fraction(Stall::kExecutionDependency);
+  EXPECT_GT(mem_frac, exec_frac);
+}
+
+TEST(Device, TransfersChargePcieModel) {
+  Device dev;
+  const auto before = dev.timeline_cycles();
+  dev.copy_to_device(1 << 20);
+  const auto after_h2d = dev.timeline_cycles();
+  EXPECT_GT(after_h2d, before);
+  dev.copy_to_host(1 << 20);
+  EXPECT_GT(dev.timeline_cycles(), after_h2d);
+  EXPECT_EQ(dev.report().h2d.bytes, 1U << 20);
+  EXPECT_EQ(dev.report().h2d.count, 1U);
+  // Bigger transfers cost more; latency floor applies to small ones.
+  Device dev2;
+  dev2.copy_to_device(64);
+  const auto small = dev2.timeline_cycles();
+  EXPECT_GE(small, dev2.config().us_to_cycles(dev2.config().pcie_latency_us));
+}
+
+TEST(Device, ResetReportClearsTimeline) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(128);
+  dev.launch({.grid_blocks = 1, .block_threads = 128}, "k",
+             [&](Thread& t) { t.st(buf, t.global_id(), 1U); });
+  EXPECT_GT(dev.timeline_cycles(), 0U);
+  dev.reset_report();
+  EXPECT_EQ(dev.timeline_cycles(), 0U);
+  EXPECT_TRUE(dev.report().kernels.empty());
+}
+
+TEST(Device, MoreDataMoreCycles) {
+  auto run = [&](std::uint32_t n) {
+    Device dev;
+    auto src = dev.alloc<std::uint32_t>(n);
+    auto dst = dev.alloc<std::uint32_t>(n);
+    const auto& stats = dev.launch({.grid_blocks = n / 128, .block_threads = 128},
+                                   "copy", [&](Thread& t) {
+                                     const auto i = t.global_id();
+                                     t.st(dst, i, t.ld(src, i));
+                                   });
+    return stats.cycles;
+  };
+  EXPECT_GT(run(1 << 16), run(1 << 13));
+}
+
+TEST(Device, LaunchOverheadAppearsInTinyKernels) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(32);
+  const auto& stats = dev.launch({.grid_blocks = 1, .block_threads = 32}, "tiny",
+                                 [&](Thread& t) { t.st(buf, t.lane(), 0U); });
+  EXPECT_GE(stats.cycles, dev.config().us_to_cycles(dev.config().kernel_launch_us));
+}
+
+TEST(DeviceDeathTest, EmptyGridAborts) {
+  Device dev;
+  EXPECT_DEATH(dev.launch({.grid_blocks = 0, .block_threads = 128}, "bad",
+                          [](Thread&) {}),
+               "empty grid");
+}
+
+TEST(DeviceDeathTest, WorklistOverflowAborts) {
+  Device dev;
+  Worklist wl(dev, 4);
+  EXPECT_DEATH(dev.launch({.grid_blocks = 1, .block_threads = 32}, "overflow",
+                          [&](Thread& t) {
+                            t.scan_push(wl, static_cast<std::uint32_t>(t.global_id()));
+                          }),
+               "overflow");
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Executor-level properties: thread identity, wave scaling, functional
+// equivalence of the two load paths, and the remaining atomic ops.
+
+#include <gtest/gtest.h>
+
+#include "simt/device.hpp"
+
+namespace {
+
+using namespace speckle::simt;
+
+TEST(Exec, ThreadIdentityFields) {
+  Device dev;
+  auto lanes = dev.alloc<std::uint32_t>(256);
+  auto warps = dev.alloc<std::uint32_t>(256);
+  auto blocks = dev.alloc<std::uint32_t>(256);
+  dev.launch({.grid_blocks = 2, .block_threads = 128}, "ids", [&](Thread& t) {
+    const auto i = t.global_id();
+    t.st(lanes, i, t.lane());
+    t.st(warps, i, t.warp_in_block());
+    t.st(blocks, i, t.block());
+    EXPECT_EQ(t.block_dim(), 128U);
+    EXPECT_EQ(t.grid_dim(), 2U);
+  });
+  EXPECT_EQ(lanes[0], 0U);
+  EXPECT_EQ(lanes[33], 1U);
+  EXPECT_EQ(warps[33], 1U);
+  EXPECT_EQ(warps[127], 3U);
+  EXPECT_EQ(blocks[128], 1U);
+  EXPECT_EQ(lanes[128], 0U);
+}
+
+TEST(Exec, MultiWaveGridsScaleRoughlyLinearly) {
+  // A grid needing W waves should cost about W times one wave's cycles
+  // for a uniform kernel (launch overhead aside).
+  auto cycles_for = [](std::uint32_t blocks) {
+    Device dev(DeviceConfig::k20c().scaled(16));
+    const std::uint32_t n = blocks * 128;
+    auto src = dev.alloc<std::uint32_t>(n);
+    auto dst = dev.alloc<std::uint32_t>(n);
+    const auto& stats = dev.launch({.grid_blocks = blocks, .block_threads = 128},
+                                   "u", [&](Thread& t) {
+                                     const auto i = t.global_id();
+                                     t.st(dst, i, t.ld(src, i) + 1);
+                                   });
+    return static_cast<double>(stats.cycles) -
+           static_cast<double>(dev.config().us_to_cycles(dev.config().kernel_launch_us));
+  };
+  // One full wave at 128 threads/block is 13 SMs x 13 blocks = 169 blocks.
+  const double one = cycles_for(169);
+  const double four = cycles_for(4 * 169);
+  EXPECT_GT(four, 3.0 * one);
+  EXPECT_LT(four, 5.5 * one);
+}
+
+TEST(Exec, LdgAndLdAreFunctionallyIdentical) {
+  Device dev;
+  const std::uint32_t n = 512;
+  auto src = dev.alloc<std::uint32_t>(n);
+  auto via_ld = dev.alloc<std::uint32_t>(n);
+  auto via_ldg = dev.alloc<std::uint32_t>(n);
+  for (std::uint32_t i = 0; i < n; ++i) src[i] = i * 7 + 1;
+  dev.launch({.grid_blocks = 4, .block_threads = 128}, "both", [&](Thread& t) {
+    const auto i = t.global_id();
+    t.st(via_ld, i, t.ld(src, i));
+    t.st(via_ldg, i, t.ldg(src, i));
+  });
+  for (std::uint32_t i = 0; i < n; ++i) ASSERT_EQ(via_ld[i], via_ldg[i]);
+}
+
+TEST(Exec, AtomicOrAccumulatesBits) {
+  Device dev;
+  auto mask = dev.alloc<std::uint32_t>(1);
+  mask[0] = 0;
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "or", [&](Thread& t) {
+    t.atomic_or(mask, 0, 1U << t.lane());
+  });
+  EXPECT_EQ(mask[0], 0xffffffffU);
+}
+
+TEST(Exec, GridTailThreadsAreInactive) {
+  // n not a multiple of block size: guarded threads contribute nothing.
+  Device dev;
+  const std::uint32_t n = 100;
+  auto out = dev.alloc<std::uint32_t>(n);
+  out.fill(0);
+  const auto& stats =
+      dev.launch({.grid_blocks = 1, .block_threads = 128}, "tail", [&](Thread& t) {
+        const auto i = t.global_id();
+        if (i >= n) return;
+        t.st(out, i, 1U);
+      });
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(out[i], 1U);
+  EXPECT_EQ(stats.gst_transactions, (n + 31) / 32);
+}
+
+TEST(Exec, KernelLogAccumulatesInOrder) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(32);
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "alpha",
+             [&](Thread& t) { t.st(buf, t.lane(), 1U); });
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "beta",
+             [&](Thread& t) { t.st(buf, t.lane(), 2U); });
+  ASSERT_EQ(dev.report().kernels.size(), 2U);
+  EXPECT_EQ(dev.report().kernels[0].name, "alpha");
+  EXPECT_EQ(dev.report().kernels[1].name, "beta");
+  EXPECT_EQ(dev.report().total_cycles,
+            dev.report().kernels[0].cycles + dev.report().kernels[1].cycles);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Memory-system tests: the __ldg path, L2 behavior, atomic serialization.
+
+#include <gtest/gtest.h>
+
+#include "simt/memory.hpp"
+
+namespace {
+
+using namespace speckle::simt;
+
+DeviceConfig tiny_config() {
+  DeviceConfig dev = DeviceConfig::k20c();
+  dev.num_sms = 2;
+  return dev;
+}
+
+TEST(Memory, GlobalLoadNeverTouchesRoCache) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  const auto r = mem.load(0, Space::kGlobal, 0);
+  EXPECT_FALSE(r.ro_hit);
+  EXPECT_TRUE(r.dram);
+  EXPECT_EQ(r.latency, dev.dram_latency);
+  EXPECT_EQ(mem.ro_cache(0).hits() + mem.ro_cache(0).misses(), 0U);
+}
+
+TEST(Memory, SecondGlobalLoadHitsL2) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  mem.load(0, Space::kGlobal, 0);
+  const auto r = mem.load(0, Space::kGlobal, 0);
+  EXPECT_TRUE(r.l2_hit);
+  EXPECT_EQ(r.latency, dev.l2_hit_latency);
+}
+
+TEST(Memory, LdgPathFillsRoCache) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  const auto miss = mem.load(0, Space::kReadOnly, 0);
+  EXPECT_FALSE(miss.ro_hit);
+  const auto hit = mem.load(0, Space::kReadOnly, 0);
+  EXPECT_TRUE(hit.ro_hit);
+  EXPECT_EQ(hit.latency, dev.ro_hit_latency);
+  // The RO hit is much cheaper than L2/DRAM — the point of Fig 4.
+  EXPECT_LT(hit.latency, miss.latency);
+}
+
+TEST(Memory, RoCachesArePerSm) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  mem.load(0, Space::kReadOnly, 0);
+  const auto other_sm = mem.load(1, Space::kReadOnly, 0);
+  EXPECT_FALSE(other_sm.ro_hit);  // SM 1's cache is cold
+  EXPECT_TRUE(other_sm.l2_hit);   // but L2 is shared
+}
+
+TEST(Memory, BeginKernelInvalidatesRoOnly) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  mem.load(0, Space::kReadOnly, 0);
+  mem.begin_kernel();
+  const auto r = mem.load(0, Space::kReadOnly, 0);
+  EXPECT_FALSE(r.ro_hit);  // RO cache dropped at the kernel boundary
+  EXPECT_TRUE(r.l2_hit);   // L2 stays warm
+}
+
+TEST(Memory, StoreAllocatesInL2) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  EXPECT_TRUE(mem.store(0));   // cold: DRAM traffic
+  EXPECT_FALSE(mem.store(0));  // now resident
+  EXPECT_TRUE(mem.load(0, Space::kGlobal, 0).l2_hit);
+}
+
+TEST(Memory, AtomicsToSameWordSerialize) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  const double first = mem.atomic(64, 0.0);
+  const double second = mem.atomic(64, 0.0);
+  const double third = mem.atomic(64, 0.0);
+  EXPECT_DOUBLE_EQ(first, dev.atomic_latency);
+  EXPECT_DOUBLE_EQ(second, dev.atomic_serialize + dev.atomic_latency);
+  EXPECT_DOUBLE_EQ(third, 2.0 * dev.atomic_serialize + dev.atomic_latency);
+}
+
+TEST(Memory, AtomicsToDistinctWordsDoNot) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  const double a = mem.atomic(0, 0.0);
+  const double b = mem.atomic(4, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Memory, AtomicQueueDrainsBetweenKernels) {
+  const DeviceConfig dev = tiny_config();
+  MemorySystem mem(dev);
+  mem.atomic(0, 0.0);
+  mem.atomic(0, 0.0);
+  mem.begin_kernel();
+  EXPECT_DOUBLE_EQ(mem.atomic(0, 0.0), dev.atomic_latency);
+}
+
+TEST(Config, ScaledShrinksCachesOnly) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  const DeviceConfig scaled = dev.scaled(8);
+  EXPECT_EQ(scaled.l2_bytes, dev.l2_bytes / 8);
+  EXPECT_LT(scaled.ro_cache_bytes, dev.ro_cache_bytes);
+  EXPECT_EQ(scaled.dram_latency, dev.dram_latency);
+  EXPECT_EQ(scaled.num_sms, dev.num_sms);
+  // Geometry stays valid: divisible by line * ways.
+  EXPECT_EQ(scaled.l2_bytes % (scaled.line_bytes * scaled.l2_ways), 0U);
+}
+
+TEST(Config, ScaledFloorsAtOneSet) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  const DeviceConfig scaled = dev.scaled(1 << 20);
+  EXPECT_GE(scaled.ro_cache_bytes, scaled.line_bytes * scaled.ro_cache_ways);
+}
+
+TEST(Config, OccupancyRespectsLimits) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  // 128-thread blocks, 37 regs: register file limits to 13 blocks.
+  EXPECT_EQ(occupancy_blocks_per_sm(dev, {1, 128, 37, 0}), 13U);
+  // 1024-thread blocks: 65536/37/1024 = 1 block.
+  EXPECT_EQ(occupancy_blocks_per_sm(dev, {1, 1024, 37, 0}), 1U);
+  // Tiny blocks: capped by the 16-blocks-per-SM limit.
+  EXPECT_EQ(occupancy_blocks_per_sm(dev, {1, 32, 16, 0}), 16U);
+  // Scratchpad-bound: 48 KB / 24 KB = 2 blocks.
+  EXPECT_EQ(occupancy_blocks_per_sm(dev, {1, 128, 16, 24 * 1024}), 2U);
+}
+
+TEST(ConfigDeathTest, OversizedBlockAborts) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  EXPECT_DEATH(occupancy_blocks_per_sm(dev, {1, 2048, 37, 0}), "block size");
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Metrics/reporting tests: occupancy analysis and the profile formatters.
+
+#include <gtest/gtest.h>
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+
+namespace {
+
+using namespace speckle::simt;
+
+TEST(Occupancy, RegisterLimited128) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  const OccupancyReport r = analyze_occupancy(dev, {1, 128, 37, 0});
+  EXPECT_EQ(r.resident_blocks, 13U);  // 65536 / (37*128)
+  EXPECT_EQ(r.resident_warps, 52U);
+  EXPECT_EQ(r.limiter, "registers");
+  EXPECT_NEAR(r.occupancy, 52.0 / 64.0, 1e-12);
+}
+
+TEST(Occupancy, BlockLimitedTiny) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  const OccupancyReport r = analyze_occupancy(dev, {1, 32, 16, 0});
+  EXPECT_EQ(r.resident_blocks, 16U);
+  EXPECT_EQ(r.limiter, "blocks");
+  EXPECT_NEAR(r.occupancy, 16.0 / 64.0, 1e-12);  // Fig 8's 32-thread cliff
+}
+
+TEST(Occupancy, ScratchpadLimited) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  const OccupancyReport r = analyze_occupancy(dev, {1, 128, 16, 24 * 1024});
+  EXPECT_EQ(r.resident_blocks, 2U);
+  EXPECT_EQ(r.limiter, "scratchpad");
+}
+
+TEST(Occupancy, WarpLimitedLargeBlock) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  const OccupancyReport r = analyze_occupancy(dev, {1, 1024, 16, 0});
+  // 64 warps / 32 warps-per-block = 2 blocks; registers allow 4.
+  EXPECT_EQ(r.resident_blocks, 2U);
+  EXPECT_EQ(r.limiter, "warps");
+}
+
+TEST(Occupancy, MatchesExecutorOccupancy) {
+  const DeviceConfig dev = DeviceConfig::k20c();
+  for (std::uint32_t block : {32U, 64U, 128U, 256U, 512U, 1024U}) {
+    const LaunchConfig cfg{1, block, 37, 0};
+    EXPECT_EQ(analyze_occupancy(dev, cfg).resident_blocks,
+              occupancy_blocks_per_sm(dev, cfg))
+        << block;
+  }
+}
+
+TEST(Metrics, KernelTableMentionsKernelAndTransfers) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(256);
+  dev.launch({.grid_blocks = 2, .block_threads = 128}, "my_kernel",
+             [&](Thread& t) { t.st(buf, t.global_id(), 1U); });
+  dev.copy_to_host(1024);
+  const std::string table = format_kernel_table(dev.report(), dev.config());
+  EXPECT_NE(table.find("my_kernel"), std::string::npos);
+  EXPECT_NE(table.find("transfers"), std::string::npos);
+  EXPECT_NE(table.find("d2h"), std::string::npos);
+}
+
+TEST(Metrics, StallBreakdownListsAllReasons) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(1 << 14);
+  dev.launch({.grid_blocks = 128, .block_threads = 128}, "k",
+             [&](Thread& t) { t.st(buf, t.global_id(), t.ld(buf, t.global_id())); });
+  const std::string breakdown =
+      format_stall_breakdown(dev.report().aggregate_stalls());
+  EXPECT_NE(breakdown.find("memory dependency"), std::string::npos);
+  EXPECT_NE(breakdown.find("synchronization"), std::string::npos);
+  EXPECT_NE(breakdown.find("busy"), std::string::npos);
+}
+
+}  // namespace

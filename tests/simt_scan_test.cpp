@@ -1,0 +1,105 @@
+// Block-exclusive-scan device-code tests: correctness against the STL, and
+// consistency of the built-in scan_push cost abstraction with the real
+// kernel's cost.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simt/scan.hpp"
+#include "simt/worklist.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace speckle::simt;
+
+std::vector<std::uint32_t> reference_block_scan(const std::vector<std::uint32_t>& in,
+                                                std::uint32_t block) {
+  std::vector<std::uint32_t> out(in.size());
+  for (std::size_t base = 0; base < in.size(); base += block) {
+    std::exclusive_scan(in.begin() + base, in.begin() + base + block,
+                        out.begin() + base, 0U);
+  }
+  return out;
+}
+
+class ScanSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ScanSweep, MatchesStlExclusiveScan) {
+  const std::uint32_t block = GetParam();
+  const std::uint32_t n = block * 6;
+  Device dev;
+  auto in = dev.alloc<std::uint32_t>(n);
+  auto out = dev.alloc<std::uint32_t>(n);
+  speckle::support::Xoshiro256 rng(block);
+  std::vector<std::uint32_t> host_in(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    host_in[i] = static_cast<std::uint32_t>(rng.next_below(10));
+    in[i] = host_in[i];
+  }
+  block_exclusive_scan(dev, in, out, block);
+  const auto expected = reference_block_scan(host_in, block);
+  for (std::uint32_t i = 0; i < n; ++i) ASSERT_EQ(out[i], expected[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ScanSweep,
+                         ::testing::Values(32U, 64U, 128U, 256U, 512U, 1024U));
+
+TEST(Scan, AllOnesGivesIota) {
+  Device dev;
+  const std::uint32_t block = 128;
+  auto in = dev.alloc<std::uint32_t>(block);
+  auto out = dev.alloc<std::uint32_t>(block);
+  in.fill(1);
+  block_exclusive_scan(dev, in, out, block);
+  for (std::uint32_t i = 0; i < block; ++i) ASSERT_EQ(out[i], i);
+}
+
+TEST(Scan, CostIsLogDepthNotLinear) {
+  // Doubling the block size should add ~2 tree levels, not double the time
+  // per element: per-element cycles must *shrink* with block size.
+  auto per_element_cycles = [](std::uint32_t block) {
+    Device dev;
+    auto in = dev.alloc<std::uint32_t>(block * 16);
+    auto out = dev.alloc<std::uint32_t>(block * 16);
+    in.fill(1);
+    const auto& stats = block_exclusive_scan(dev, in, out, block);
+    return static_cast<double>(stats.cycles) / (block * 16);
+  };
+  EXPECT_LT(per_element_cycles(1024), per_element_cycles(32));
+}
+
+TEST(Scan, ScanPushChargeIsSameOrderAsRealScan) {
+  // The abstract scan_push cost and the explicit Blelloch kernel must agree
+  // within an order of magnitude — otherwise the ablation results would be
+  // artifacts of the abstraction.
+  const std::uint32_t n = 1 << 14;
+  Device dev_push;
+  Worklist wl(dev_push, n);
+  const auto& push_stats = dev_push.launch(
+      {.grid_blocks = n / 128, .block_threads = 128}, "push", [&](Thread& t) {
+        t.scan_push(wl, static_cast<std::uint32_t>(t.global_id()));
+      });
+
+  Device dev_scan;
+  auto in = dev_scan.alloc<std::uint32_t>(n);
+  auto out = dev_scan.alloc<std::uint32_t>(n);
+  in.fill(1);
+  const auto& scan_stats = block_exclusive_scan(dev_scan, in, out, 128);
+
+  EXPECT_LT(push_stats.cycles, 20 * scan_stats.cycles);
+  EXPECT_LT(scan_stats.cycles, 20 * push_stats.cycles);
+}
+
+TEST(ScanDeathTest, RejectsBadGeometry) {
+  Device dev;
+  auto in = dev.alloc<std::uint32_t>(96);
+  auto out = dev.alloc<std::uint32_t>(96);
+  EXPECT_DEATH(block_exclusive_scan(dev, in, out, 96), "power of two");
+  auto in2 = dev.alloc<std::uint32_t>(100);
+  auto out2 = dev.alloc<std::uint32_t>(100);
+  EXPECT_DEATH(block_exclusive_scan(dev, in2, out2, 64), "whole number of blocks");
+}
+
+}  // namespace
