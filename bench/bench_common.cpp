@@ -13,6 +13,7 @@ coloring::RunOptions BenchContext::run_options() const {
   coloring::RunOptions opts;
   opts.block_size = block;
   opts.seed = seed;
+  opts.device.host_threads = threads;
   if (denom > 1) opts.scale_caches(denom);
   return opts;
 }
@@ -24,6 +25,7 @@ BenchContext parse_context(int argc, char** argv,
   ctx.denom = static_cast<std::uint32_t>(opts.get_int("denom", 8));
   ctx.block = static_cast<std::uint32_t>(opts.get_int("block", 128));
   ctx.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  ctx.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
   ctx.csv = opts.get_bool("csv", false);
 
   const std::string graphs = opts.get_string("graphs", "");
@@ -38,7 +40,8 @@ BenchContext parse_context(int argc, char** argv,
     }
   }
 
-  std::vector<std::string> known = {"denom", "block", "seed", "csv", "graphs"};
+  std::vector<std::string> known = {"denom", "block", "seed", "threads", "csv",
+                                    "graphs"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   opts.validate(known);
   return ctx;
@@ -59,7 +62,14 @@ void print_banner(const std::string& title, const BenchContext& ctx) {
   std::cout << "=== " << title << " ===\n"
             << "scale: 1/" << ctx.denom << " of paper size (--denom=1 for full);"
             << " block size " << ctx.block << "; simulated NVIDIA K20c vs."
-            << " modeled Xeon E5-2670\n\n";
+            << " modeled Xeon E5-2670\n"
+            << "executor: ";
+  if (ctx.threads == 0) {
+    std::cout << "one host thread per hardware thread";
+  } else {
+    std::cout << ctx.threads << " host thread" << (ctx.threads == 1 ? "" : "s");
+  }
+  std::cout << " (--threads=N; results are thread-count invariant)\n\n";
 }
 
 void emit(const support::Table& table, const BenchContext& ctx) {

@@ -9,6 +9,9 @@
 ///   --graphs=a,b comma-separated subset of the Table I suite
 ///   --block=N    thread-block size (default 128, the paper's choice)
 ///   --seed=N     RNG seed for generators and algorithms
+///   --threads=N  host threads for the simulator's wave executor (0 = one
+///                per hardware thread, the default). Results are
+///                bit-identical for every value; only wall-clock changes.
 ///   --csv        emit CSV after the human-readable table
 
 #include <string>
@@ -25,6 +28,7 @@ struct BenchContext {
   std::uint32_t denom = 8;
   std::uint32_t block = 128;
   std::uint64_t seed = 1;
+  std::uint32_t threads = 0;  ///< simulator host threads; 0 = hardware
   bool csv = false;
   std::vector<std::string> graphs;  ///< suite names, Table I order
 

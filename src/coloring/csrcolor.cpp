@@ -151,7 +151,10 @@ GpuResult csrcolor(const graph::CsrGraph& g, const CsrColorOptions& opts) {
       if (v >= n) return;
       t.ld(colors, v);
       t.compute(2);
-      if (t.thread_in_block() == 0) t.atomic_add(counter, 0, 1U);
+      // Return value unused (the host rescans colors below), so the
+      // discarding form keeps concurrently-executing blocks off the
+      // re-execution path of the parallel wave executor.
+      if (t.thread_in_block() == 0) t.atomic_add_discard(counter, 0, 1U);
     });
     dev.copy_to_host(sizeof(std::uint32_t));  // read the count
 

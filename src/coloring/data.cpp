@@ -33,9 +33,11 @@ GpuResult data_color(const graph::CsrGraph& g, const DataOptions& opts) {
     const std::uint32_t count = w_in->size();
     const simt::LaunchConfig cfg{(count + opts.block_size - 1) / opts.block_size,
                                  opts.block_size};
+    simt::LaunchConfig racy_cfg = cfg;
+    racy_cfg.racy_visibility = true;  // the color kernel speculates via st_racy
 
     // Lines 4-10: speculatively color every vertex in the worklist.
-    dev.launch(cfg, "data_color", [&](simt::Thread& t) {
+    dev.launch(racy_cfg, "data_color", [&](simt::Thread& t) {
       const auto idx = t.global_id();
       if (idx >= count) return;
       t.compute(2);

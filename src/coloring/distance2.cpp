@@ -147,12 +147,14 @@ GpuResult topo_color_d2(const graph::CsrGraph& g, const GpuOptions& opts) {
 
   const simt::LaunchConfig cfg{(n + opts.block_size - 1) / opts.block_size,
                                opts.block_size};
+  simt::LaunchConfig racy_cfg = cfg;
+  racy_cfg.racy_visibility = true;  // the color kernel speculates via st_racy
   for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
     ++result.iterations;
     changed[0] = 0;
     dev.copy_to_device(sizeof(std::uint32_t));
 
-    dev.launch(cfg, "topo_color_d2", [&](simt::Thread& t) {
+    dev.launch(racy_cfg, "topo_color_d2", [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.compute(2);

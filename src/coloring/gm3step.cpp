@@ -26,8 +26,9 @@ Gm3Result gm3step_color(const graph::CsrGraph& g, const Gm3Options& opts) {
   conflicted.fill(1);  // round 1 colors everything
 
   const vid_t num_partitions = (n + opts.partition_size - 1) / opts.partition_size;
-  const simt::LaunchConfig part_cfg{
+  simt::LaunchConfig part_cfg{
       (num_partitions + opts.block_size - 1) / opts.block_size, opts.block_size};
+  part_cfg.racy_visibility = true;  // partition coloring speculates via st_racy
   const simt::LaunchConfig vert_cfg{(n + opts.block_size - 1) / opts.block_size,
                                     opts.block_size};
 

@@ -23,6 +23,8 @@ GpuResult topo_color(const graph::CsrGraph& g, const GpuOptions& opts) {
 
   const simt::LaunchConfig cfg{(n + opts.block_size - 1) / opts.block_size,
                                opts.block_size};
+  simt::LaunchConfig racy_cfg = cfg;
+  racy_cfg.racy_visibility = true;  // the color kernel speculates via st_racy
 
   for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
     ++result.iterations;
@@ -31,7 +33,7 @@ GpuResult topo_color(const graph::CsrGraph& g, const GpuOptions& opts) {
 
     // Algorithm 4 lines 4-14: color the still-uncolored vertices
     // speculatively (warp-lockstep races produce the conflicts).
-    dev.launch(cfg, "topo_color", [&](simt::Thread& t) {
+    dev.launch(racy_cfg, "topo_color", [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.compute(2);

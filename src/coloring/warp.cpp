@@ -68,6 +68,7 @@ GpuResult data_warp_color(const graph::CsrGraph& g, const DataOptions& opts) {
     simt::LaunchConfig color_cfg{
         (count + warps_per_block - 1) / warps_per_block, opts.block_size,
         /*regs_per_thread=*/37, /*smem_bytes_per_block=*/opts.block_size * 8};
+    color_cfg.racy_visibility = true;  // phase 2 speculates via st_racy
     std::vector<simt::Kernel> phases = {
         [&](simt::Thread& t) {
           const std::uint32_t widx =

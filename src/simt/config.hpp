@@ -53,6 +53,12 @@ struct DeviceConfig {
   double pcie_latency_us = 8.0;
   double pcie_gbps = 6.0;
 
+  // --- host simulation (not a property of the modeled GPU) -----------------
+  /// Worker threads the *simulator* uses to execute the blocks of a wave and
+  /// the per-SM timing loops. 0 = one per hardware thread. Results are
+  /// bit-identical for every value — only host wall-clock changes.
+  std::uint32_t host_threads = 1;
+
   /// Peak DRAM bytes per core cycle (used for bandwidth capping and the
   /// achieved-bandwidth metric of Fig 3).
   double dram_bytes_per_cycle() const {
@@ -85,6 +91,15 @@ struct LaunchConfig {
   /// the coloring kernels (compiled with CUDA 7.0 -O3 the paper used).
   std::uint32_t regs_per_thread = 37;
   std::uint32_t smem_bytes_per_block = 0;
+  /// Set by kernels whose algorithm depends on racy inter-block visibility
+  /// (they write speculative state with Thread::st_racy and *want* later
+  /// threads anywhere to observe it, as real L2 makes near-immediate). The
+  /// executor then runs the launch's blocks serially with immediate
+  /// visibility — the hardware-calibrated semantics — instead of the
+  /// chunk-parallel snapshot path. Identical results at every host thread
+  /// count either way; this flag only selects which deterministic
+  /// visibility model the kernel gets (docs/simulator.md §1, §8).
+  bool racy_visibility = false;
 };
 
 /// Resident blocks per SM under the occupancy rules (blocks, warps,

@@ -1,10 +1,12 @@
 #include "simt/device.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstring>
+#include <thread>
 
 #include "simt/worklist.hpp"
 #include "support/check.hpp"
+#include "support/threadpool.hpp"
 
 namespace speckle::simt {
 namespace {
@@ -26,8 +28,28 @@ void Thread::scan_push(Worklist& wl, std::uint32_t value) {
   block_state_.pushes.push_back({&wl, value, thread_in_block_});
 }
 
+/// Per-lane scratch: one arena per pool slot, reused for every block that
+/// lane executes — trace arrays, block state and the write overlay keep
+/// their allocations across blocks and launches.
+struct Device::ExecArena {
+  std::vector<std::vector<ThreadTrace>> traces;  ///< [warp][lane]
+  BlockState bstate;
+  WriteOverlay overlay;
+};
+
+/// A block's speculated side effects, held from its (concurrent) execution
+/// until its (ordered) commit slot.
+struct Device::BlockResult {
+  std::vector<WriteOverlay::Write> writes;
+  std::vector<BlockState::AtomicObservation> observations;
+  std::vector<BlockState::PendingPush> pushes;
+  std::vector<BlockState::DiscardAdd> discard_adds;
+};
+
 Device::Device(DeviceConfig config)
     : config_(config), memory_(config_), engine_(config_, memory_) {}
+
+Device::~Device() = default;
 
 std::uint64_t Device::allocate_range(std::uint64_t bytes) {
   const std::uint64_t base = next_addr_;
@@ -55,10 +77,12 @@ namespace {
 /// Apply the block's pending scan_push requests: bump each worklist tail
 /// once, write the compacted items, and charge the cost to the warp traces —
 /// the CUB-style block scan (log-depth scratchpad traversal + two barriers),
-/// ONE tail atomic per block, and coalesced item stores.
+/// ONE tail atomic per block, and coalesced item stores. Runs in the commit
+/// phase, so it reads and writes the real (committed) buffers.
 void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
-                       BlockState& bstate, BlockWork& work) {
-  if (bstate.pushes.empty()) return;
+                       std::vector<BlockState::PendingPush>& pushes,
+                       BlockWork& work) {
+  if (pushes.empty()) return;
 
   const std::uint32_t scan_insts = 2 * ceil_log2(std::max(2u, cfg.block_threads));
   for (WarpTrace& wt : work.warps) {
@@ -68,55 +92,196 @@ void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
     wt.ops.push_back({OpKind::kSync, Space::kGlobal, 1, 32, {}});
   }
 
-  // Group by destination worklist, preserving thread order within a group.
-  std::map<Worklist*, std::vector<const BlockState::PendingPush*>> groups;
-  for (const BlockState::PendingPush& push : bstate.pushes) {
-    groups[push.worklist].push_back(&push);
+  // Group by destination worklist in first-seen order. Nearly every kernel
+  // pushes to exactly one worklist, so a tiny flat vector beats a std::map;
+  // the scratch vectors live across blocks (commit is single-threaded).
+  static thread_local std::vector<Worklist*> lists;
+  static thread_local std::vector<std::uint64_t> lane_addrs;
+  static thread_local std::vector<std::uint8_t> lane_sizes;
+
+  lists.clear();
+  for (const BlockState::PendingPush& push : pushes) {
+    if (std::find(lists.begin(), lists.end(), push.worklist) == lists.end()) {
+      lists.push_back(push.worklist);
+    }
   }
 
-  for (auto& [wl, pushes] : groups) {
+  for (Worklist* wl : lists) {
+    std::size_t count = 0;
+    for (const BlockState::PendingPush& push : pushes) {
+      if (push.worklist == wl) ++count;
+    }
+
     // Functional: reserve the range and write the items.
     Buffer<std::uint32_t>& tail = wl->tail();
     Buffer<std::uint32_t>& items = wl->items();
     const std::uint32_t offset = tail[0];
-    SPECKLE_CHECK(offset + pushes.size() <= items.size(), "worklist overflow");
-    tail[0] = offset + static_cast<std::uint32_t>(pushes.size());
+    SPECKLE_CHECK(offset + count <= items.size(), "worklist overflow");
+    tail[0] = offset + static_cast<std::uint32_t>(count);
 
     // Timing: one atomic on the tail, performed by warp 0's leader.
     work.warps.front().ops.push_back(
         {OpKind::kAtomic, Space::kGlobal, 1, 1, {tail.addr_of(0)}});
 
-    // Per-warp coalesced stores of that warp's items.
-    std::vector<std::vector<std::uint64_t>> warp_addrs(work.warps.size());
-    std::vector<std::vector<std::uint8_t>> warp_sizes(work.warps.size());
-    for (std::size_t i = 0; i < pushes.size(); ++i) {
-      items[offset + i] = pushes[i]->value;
-      const std::uint32_t warp = pushes[i]->thread_in_block / dev.warp_size;
-      warp_addrs[warp].push_back(items.addr_of(offset + i));
-      warp_sizes[warp].push_back(sizeof(std::uint32_t));
-    }
-    for (std::size_t w = 0; w < work.warps.size(); ++w) {
-      if (warp_addrs[w].empty()) continue;
+    // Per-warp coalesced stores of that warp's items. Pushes arrive in
+    // thread order, so each warp's pushes form one contiguous run.
+    auto emit_warp_store = [&](std::uint32_t warp) {
+      if (lane_addrs.empty()) return;
       WarpOp store{OpKind::kStore, Space::kGlobal, 1,
-                   static_cast<std::uint16_t>(warp_addrs[w].size()), {}};
-      store.addrs = coalesce(warp_addrs[w], warp_sizes[w], dev.line_bytes);
-      work.warps[w].ops.push_back(std::move(store));
+                   static_cast<std::uint16_t>(lane_addrs.size()), {}};
+      store.addrs = coalesce(lane_addrs, lane_sizes, dev.line_bytes);
+      work.warps[warp].ops.push_back(std::move(store));
+      lane_addrs.clear();
+      lane_sizes.clear();
+    };
+
+    lane_addrs.clear();
+    lane_sizes.clear();
+    std::uint32_t run_warp = 0;
+    std::size_t idx = 0;
+    for (const BlockState::PendingPush& push : pushes) {
+      if (push.worklist != wl) continue;
+      const std::uint32_t warp = push.thread_in_block / dev.warp_size;
+      if (warp != run_warp) {
+        emit_warp_store(run_warp);
+        run_warp = warp;
+      }
+      items[offset + idx] = push.value;
+      lane_addrs.push_back(items.addr_of(offset + idx));
+      lane_sizes.push_back(sizeof(std::uint32_t));
+      ++idx;
     }
+    emit_warp_store(run_warp);
   }
 
   // Second barrier: the offset broadcast before the stores retire.
   for (WarpTrace& wt : work.warps) {
     wt.ops.push_back({OpKind::kSync, Space::kGlobal, 1, 32, {}});
   }
-  bstate.pushes.clear();
+  pushes.clear();
 }
 
 }  // namespace
+
+void Device::ensure_executor() {
+  if (!arenas_.empty()) return;
+  std::uint32_t lanes = config_.host_threads;
+  if (lanes == 0) lanes = std::max(1u, std::thread::hardware_concurrency());
+  if (lanes > 1) pool_ = std::make_unique<support::ThreadPool>(lanes);
+  arenas_.reserve(lanes);
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    arenas_.push_back(std::make_unique<ExecArena>());
+  }
+}
+
+void Device::execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
+                           std::uint32_t block, std::uint32_t warps_per_block,
+                           ExecArena& arena, bool speculative, BlockWork& work,
+                           BlockResult* result) {
+  if (arena.traces.size() != warps_per_block) arena.traces.resize(warps_per_block);
+  for (auto& warp : arena.traces) {
+    if (warp.size() != config_.warp_size) warp.resize(config_.warp_size);
+    for (ThreadTrace& lane : warp) lane.clear();
+  }
+  BlockState& bstate = arena.bstate;
+  bstate.shared_words.assign(std::max<std::size_t>(cfg.smem_bytes_per_block / 4, 1),
+                             0);
+  bstate.pushes.clear();
+  bstate.deferred.clear();
+  bstate.observations.clear();
+  bstate.discard_adds.clear();
+  arena.overlay.clear();
+  bstate.overlay = speculative ? &arena.overlay : nullptr;
+
+  for (std::size_t phase = 0; phase < phases.size(); ++phase) {
+    for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+      for (std::uint32_t l = 0; l < config_.warp_size; ++l) {
+        const std::uint32_t tid = w * config_.warp_size + l;
+        if (tid >= cfg.block_threads) break;
+        Thread thread(block, tid, cfg.block_threads, cfg.grid_blocks,
+                      config_.warp_size, arena.traces[w][l], bstate);
+        phases[phase](thread);
+      }
+      // Warp retirement: racy stores become visible to later warps (of this
+      // block — cross-block visibility waits for the commit).
+      for (const BlockState::DeferredWrite& write : bstate.deferred) {
+        if (bstate.overlay != nullptr) {
+          bstate.overlay->put(write.addr, write.host, write.value,
+                              sizeof(std::uint32_t));
+        } else {
+          *write.host = write.value;
+        }
+      }
+      bstate.deferred.clear();
+    }
+    if (phase + 1 < phases.size()) {
+      for (auto& warp : arena.traces) {
+        for (ThreadTrace& lane : warp) lane.sync();
+      }
+    }
+  }
+
+  work.warps.clear();
+  work.warps.reserve(warps_per_block);
+  for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+    work.warps.push_back(merge_warp(arena.traces[w], config_.line_bytes));
+  }
+
+  if (result != nullptr) {
+    const auto writes = arena.overlay.writes();
+    result->writes.assign(writes.begin(), writes.end());
+    result->observations.assign(bstate.observations.begin(),
+                                bstate.observations.end());
+    result->pushes.assign(bstate.pushes.begin(), bstate.pushes.end());
+    result->discard_adds.assign(bstate.discard_adds.begin(),
+                                bstate.discard_adds.end());
+  }
+  bstate.overlay = nullptr;
+}
+
+void Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
+                          std::uint32_t block, std::uint32_t warps_per_block,
+                          BlockResult& result, BlockWork& work) {
+  // Validate the speculation: every pre-value a value-returning atomic
+  // observed must still be the committed value. Earlier blocks' plain
+  // writes never invalidate (chunk-snapshot visibility is the model); only
+  // an atomic RMW chain rooted in a stale value does.
+  bool valid = true;
+  for (const BlockState::AtomicObservation& obs : result.observations) {
+    std::uint64_t committed = 0;
+    std::memcpy(&committed, obs.host, obs.size);
+    if (committed != obs.pre_raw) {
+      valid = false;
+      break;
+    }
+  }
+
+  if (valid) {
+    for (const WriteOverlay::Write& write : result.writes) {
+      std::memcpy(write.host, &write.raw, write.size);
+    }
+    for (const BlockState::DiscardAdd& add : result.discard_adds) {
+      *add.host += add.delta;
+    }
+    flush_scan_pushes(config_, cfg, result.pushes, work);
+    return;
+  }
+
+  // Stale atomic pre-value (e.g. an earlier block reserved the same
+  // worklist slots): re-execute the block directly against the committed
+  // state at its commit slot. The decision and the replay depend only on
+  // committed state, so every host thread count takes the same path.
+  ExecArena& arena = *arenas_.front();
+  execute_block(cfg, phases, block, warps_per_block, arena, /*speculative=*/false,
+                work, nullptr);
+  flush_scan_pushes(config_, cfg, arena.bstate.pushes, work);
+}
 
 const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& name,
                                     const std::vector<Kernel>& phases) {
   SPECKLE_CHECK(cfg.grid_blocks >= 1, "kernel launched with an empty grid");
   memory_.begin_kernel();
+  ensure_executor();
 
   const std::uint32_t occupancy = occupancy_blocks_per_sm(config_, cfg);
   const std::uint32_t blocks_per_wave = occupancy * config_.num_sms;
@@ -128,59 +293,69 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
   stats.block_threads = cfg.block_threads;
 
   double t = 0.0;
-  std::vector<std::vector<ThreadTrace>> traces(
-      warps_per_block, std::vector<ThreadTrace>(config_.warp_size));
 
   for (std::uint32_t wave_begin = 0; wave_begin < cfg.grid_blocks;
        wave_begin += blocks_per_wave) {
     const std::uint32_t wave_count =
         std::min(blocks_per_wave, cfg.grid_blocks - wave_begin);
-    std::vector<BlockWork> works(wave_count);
+    if (works_.size() < wave_count) works_.resize(wave_count);
+    while (results_.size() < wave_count) {
+      results_.push_back(std::make_unique<BlockResult>());
+    }
 
-    for (std::uint32_t bi = 0; bi < wave_count; ++bi) {
-      const std::uint32_t block = wave_begin + bi;
-      BlockState bstate;
-      bstate.shared_words.resize(
-          std::max<std::size_t>(cfg.smem_bytes_per_block / 4, 1));
-      for (auto& warp : traces) {
-        for (ThreadTrace& lane : warp) lane.clear();
+    if (cfg.racy_visibility) {
+      // Kernels built on st_racy speculation *want* inter-block racy
+      // visibility: on hardware a racy store surfaces through L2 within
+      // hundreds of cycles — negligible against a block's lifetime — so
+      // the only threads guaranteed to miss each other's writes are the
+      // lanes of one warp. Snapshot execution would make whole block
+      // groups mutually blind and multiply the speculative schemes'
+      // conflict rounds; these launches instead run their blocks serially
+      // with immediate visibility, the calibrated semantics the paper's
+      // shapes were validated against. (Identical at every --threads.)
+      for (std::uint32_t bi = 0; bi < wave_count; ++bi) {
+        execute_block(cfg, phases, wave_begin + bi, warps_per_block,
+                      *arenas_.front(), /*speculative=*/false, works_[bi],
+                      nullptr);
+        flush_scan_pushes(config_, cfg, arenas_.front()->bstate.pushes,
+                          works_[bi]);
       }
-
-      for (std::size_t phase = 0; phase < phases.size(); ++phase) {
-        for (std::uint32_t w = 0; w < warps_per_block; ++w) {
-          for (std::uint32_t l = 0; l < config_.warp_size; ++l) {
-            const std::uint32_t tid = w * config_.warp_size + l;
-            if (tid >= cfg.block_threads) break;
-            Thread thread(block, tid, cfg.block_threads, cfg.grid_blocks,
-                          config_.warp_size, traces[w][l], bstate);
-            phases[phase](thread);
-          }
-          // Warp retirement: racy stores become visible to later warps.
-          for (const BlockState::DeferredWrite& write : bstate.deferred) {
-            *write.target = write.value;
-          }
-          bstate.deferred.clear();
+    } else {
+      // Execute/commit in *chunks of one block per SM*: a chunk's blocks
+      // run concurrently on the pool, each against the chunk-start state
+      // plus its own write overlay, then the chunk commits in ascending
+      // block order before the next chunk starts. The chunk size is a
+      // hardware constant — never the host thread count — so results are
+      // bit-identical for every --threads value.
+      const std::uint32_t chunk_blocks = config_.num_sms;
+      for (std::uint32_t chunk = 0; chunk < wave_count; chunk += chunk_blocks) {
+        const std::uint32_t count = std::min(chunk_blocks, wave_count - chunk);
+        auto execute_one = [&](std::size_t i, unsigned slot) {
+          const auto bi = chunk + static_cast<std::uint32_t>(i);
+          execute_block(cfg, phases, wave_begin + bi, warps_per_block,
+                        *arenas_[slot], /*speculative=*/true, works_[bi],
+                        results_[bi].get());
+        };
+        if (pool_ != nullptr) {
+          pool_->parallel_for_deterministic(count, execute_one);
+        } else {
+          for (std::uint32_t i = 0; i < count; ++i) execute_one(i, 0);
         }
-        if (phase + 1 < phases.size()) {
-          for (auto& warp : traces) {
-            for (ThreadTrace& lane : warp) lane.sync();
-          }
+        // Commit: side effects land in ascending block order — the serial
+        // schedule every thread count reproduces bit-exactly.
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint32_t bi = chunk + i;
+          commit_block(cfg, phases, wave_begin + bi, warps_per_block,
+                       *results_[bi], works_[bi]);
         }
       }
-
-      BlockWork& work = works[bi];
-      work.warps.reserve(warps_per_block);
-      for (std::uint32_t w = 0; w < warps_per_block; ++w) {
-        work.warps.push_back(merge_warp(traces[w], config_.line_bytes));
-      }
-      flush_scan_pushes(config_, cfg, bstate, work);
     }
 
     std::vector<std::vector<const BlockWork*>> per_sm(config_.num_sms);
     for (std::uint32_t bi = 0; bi < wave_count; ++bi) {
-      per_sm[bi % config_.num_sms].push_back(&works[bi]);
+      per_sm[bi % config_.num_sms].push_back(&works_[bi]);
     }
-    t = engine_.run_wave(per_sm, t, stats);
+    t = engine_.run_wave(per_sm, t, stats, pool_.get());
   }
 
   stats.cycles =

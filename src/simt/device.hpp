@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@
 #include "simt/thread.hpp"
 #include "simt/timing.hpp"
 
+namespace speckle::support {
+class ThreadPool;
+}
+
 namespace speckle::simt {
 
 using Kernel = std::function<void(Thread&)>;
@@ -36,6 +41,7 @@ using Kernel = std::function<void(Thread&)>;
 class Device {
  public:
   explicit Device(DeviceConfig config = DeviceConfig::k20c());
+  ~Device();
 
   const DeviceConfig& config() const { return config_; }
 
@@ -48,6 +54,8 @@ class Device {
   }
 
   /// Launch a barrier-free kernel over grid_blocks x block_threads threads.
+  /// The returned reference lives in the report's kernel vector and is
+  /// invalidated by the next launch — copy it if it must outlive one.
   const KernelStats& launch(const LaunchConfig& cfg, const std::string& name,
                             const Kernel& body);
 
@@ -79,15 +87,35 @@ class Device {
  private:
   friend class Thread;
 
+  /// Per-lane scratch reused across blocks and launches: trace arrays, the
+  /// block state, and the speculative write overlay (defined in device.cpp).
+  struct ExecArena;
+  /// One block's speculated side effects, kept until its commit slot.
+  struct BlockResult;
+
   std::uint64_t allocate_range(std::uint64_t bytes);
   const KernelStats& run_grid(const LaunchConfig& cfg, const std::string& name,
                               const std::vector<Kernel>& phases);
+  void ensure_executor();
+  void execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
+                     std::uint32_t block, std::uint32_t warps_per_block,
+                     ExecArena& arena, bool speculative, BlockWork& work,
+                     BlockResult* result);
+  void commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
+                    std::uint32_t block, std::uint32_t warps_per_block,
+                    BlockResult& result, BlockWork& work);
 
   DeviceConfig config_;
   MemorySystem memory_;
   TimingEngine engine_;
   DeviceReport report_;
   std::uint64_t next_addr_ = 0x1000;
+
+  // Parallel wave executor state (lazily built on the first launch).
+  std::unique_ptr<support::ThreadPool> pool_;  ///< null when 1 host thread
+  std::vector<std::unique_ptr<ExecArena>> arenas_;  ///< one per pool slot
+  std::vector<BlockWork> works_;          ///< per-wave, reused across waves
+  std::vector<std::unique_ptr<BlockResult>> results_;  ///< per-wave, reused
 };
 
 }  // namespace speckle::simt

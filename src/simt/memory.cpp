@@ -52,4 +52,64 @@ double MemorySystem::atomic(std::uint64_t word_addr, double now) {
   return start + static_cast<double>(dev_.atomic_latency);
 }
 
+MemorySystem::WaveView::WaveView(MemorySystem& parent, std::uint32_t sm)
+    : parent_(&parent), sm_(sm), l2_(parent.l2_) {
+  SPECKLE_CHECK(sm < parent.ro_caches_.size(), "wave view for unknown SM");
+}
+
+MemorySystem::LoadResult MemorySystem::WaveView::load(Space space,
+                                                      std::uint64_t line_addr) {
+  LoadResult result;
+  if (space == Space::kReadOnly) {
+    // The read-only cache is per-SM, so the view touches the real one.
+    if (parent_->ro_caches_[sm_].access(line_addr)) {
+      result.ro_hit = true;
+      result.latency = parent_->dev_.ro_hit_latency;
+      return result;
+    }
+  }
+  l2_log_.push_back(line_addr);
+  if (l2_.access(line_addr)) {
+    result.l2_hit = true;
+    result.latency = parent_->dev_.l2_hit_latency;
+  } else {
+    result.dram = true;
+    result.latency = parent_->dev_.dram_latency;
+  }
+  // On an RO miss the fill overlaps the L2/DRAM trip — no extra charge
+  // (__ldg must never be slower than the plain-load path it replaces).
+  return result;
+}
+
+bool MemorySystem::WaveView::store(std::uint64_t line_addr) {
+  l2_log_.push_back(line_addr);
+  return !l2_.access(line_addr);
+}
+
+double MemorySystem::WaveView::atomic(std::uint64_t word_addr, double now) {
+  auto local = atomic_local_.find(word_addr);
+  double ready = 0.0;
+  if (local != atomic_local_.end()) {
+    ready = local->second;
+  } else {
+    // The master map is frozen while the wave runs, so this concurrent
+    // lookup is race-free.
+    auto master = parent_->atomic_ready_.find(word_addr);
+    if (master != parent_->atomic_ready_.end()) ready = master->second;
+  }
+  const double start = std::max(now, ready);
+  atomic_local_[word_addr] = start + static_cast<double>(parent_->dev_.atomic_serialize);
+  return start + static_cast<double>(parent_->dev_.atomic_latency);
+}
+
+void MemorySystem::commit_wave(std::vector<WaveView>& views) {
+  for (WaveView& view : views) {
+    for (const std::uint64_t line : view.l2_log_) l2_.access(line);
+    for (const auto& [word, ready] : view.atomic_local_) {
+      double& master = atomic_ready_[word];
+      master = std::max(master, ready);
+    }
+  }
+}
+
 }  // namespace speckle::simt

@@ -45,6 +45,36 @@ class MemorySystem {
   /// Returns the completion cycle.
   double atomic(std::uint64_t word_addr, double now);
 
+  /// An SM's private view of the shared memory system for one wave, so the
+  /// per-SM timing loops can run concurrently: the L2 tags and atomic-unit
+  /// clocks are snapshotted at wave start, the SM's read-only cache is
+  /// touched directly (it is exclusively its own), and every shared-state
+  /// effect is logged. commit_wave() replays the logs into the master state
+  /// in SM order, which keeps the model deterministic for any host thread
+  /// count. Cross-SM L2 sharing and atomic serialization are therefore
+  /// resolved at wave granularity (see docs/simulator.md §7).
+  class WaveView {
+   public:
+    LoadResult load(Space space, std::uint64_t line_addr);
+    bool store(std::uint64_t line_addr);
+    double atomic(std::uint64_t word_addr, double now);
+
+   private:
+    friend class MemorySystem;
+    WaveView(MemorySystem& parent, std::uint32_t sm);
+
+    MemorySystem* parent_;
+    std::uint32_t sm_;
+    CacheModel l2_;  ///< copy of the shared L2 at wave start
+    std::unordered_map<std::uint64_t, double> atomic_local_;
+    std::vector<std::uint64_t> l2_log_;  ///< L2 probes in access order
+  };
+
+  WaveView wave_view(std::uint32_t sm) { return WaveView(*this, sm); }
+
+  /// Fold the per-SM views back into the shared state, in SM order.
+  void commit_wave(std::vector<WaveView>& views);
+
   const CacheModel& l2() const { return l2_; }
   const CacheModel& ro_cache(std::uint32_t sm) const { return ro_caches_[sm]; }
 

@@ -1,0 +1,110 @@
+#pragma once
+/// \file overlay.hpp
+/// Per-block speculative write buffer for the parallel wave executor.
+///
+/// While the blocks of a scheduling chunk execute concurrently, global stores do not
+/// touch the shared buffers: each block records its writes here, keyed by
+/// device address, and reads check the overlay first so a block always sees
+/// its own writes layered over the chunk-start state. The executor then
+/// applies overlays to the real buffers in ascending block order — the
+/// deterministic commit that makes `--threads=N` bit-identical to
+/// `--threads=1`.
+///
+/// Values are stored as raw little-endian bytes (up to 8) so one structure
+/// serves every Buffer<T> element type. Lookup is an open-addressed hash
+/// table over a dense entry vector; clear() is O(1) via slot versioning so
+/// a worker can reuse one overlay for every block it executes.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace speckle::simt {
+
+class WriteOverlay {
+ public:
+  struct Write {
+    std::uint64_t addr = 0;  ///< device address (hash key)
+    std::uint64_t raw = 0;   ///< value bytes, zero-padded to 8
+    void* host = nullptr;    ///< where commit lands the bytes
+    std::uint8_t size = 0;   ///< value width in bytes
+  };
+
+  /// Pointer to the raw value last written to `addr` by this block, or
+  /// nullptr if the block has not written it.
+  const std::uint64_t* find(std::uint64_t addr) const {
+    if (writes_.empty()) return nullptr;
+    std::size_t slot = hash(addr) & mask_;
+    for (;;) {
+      const Slot& s = slots_[slot];
+      if (s.epoch != epoch_ || s.addr == 0) return nullptr;
+      if (s.addr == addr) return &writes_[s.index].raw;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Record (or update) this block's write of `size` bytes to `addr`.
+  void put(std::uint64_t addr, void* host, std::uint64_t raw, std::uint8_t size) {
+    if (slots_.empty() || (writes_.size() + 1) * 2 > slots_.size()) grow();
+    std::size_t slot = hash(addr) & mask_;
+    for (;;) {
+      Slot& s = slots_[slot];
+      if (s.epoch != epoch_ || s.addr == 0) {
+        s = {addr, static_cast<std::uint32_t>(writes_.size()), epoch_};
+        writes_.push_back({addr, raw, host, size});
+        return;
+      }
+      if (s.addr == addr) {
+        writes_[s.index].raw = raw;
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// The block's writes in first-write order (one entry per address).
+  std::span<const Write> writes() const { return writes_; }
+
+  bool empty() const { return writes_.empty(); }
+
+  /// Forget everything but keep the allocations (per-block reuse).
+  void clear() {
+    writes_.clear();
+    ++epoch_;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t addr = 0;
+    std::uint32_t index = 0;
+    std::uint64_t epoch = 0;  ///< valid only when == current epoch
+  };
+
+  static std::size_t hash(std::uint64_t addr) {
+    // Fibonacci multiplicative hash; addresses are >= 0x1000 and word-ish
+    // aligned, so mix the high bits down.
+    return static_cast<std::size_t>((addr * 0x9e3779b97f4a7c15ULL) >> 32);
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 256 : slots_.size() * 2;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    ++epoch_;
+    for (std::uint32_t i = 0; i < writes_.size(); ++i) {
+      std::size_t slot = hash(writes_[i].addr) & mask_;
+      while (slots_[slot].epoch == epoch_ && slots_[slot].addr != 0) {
+        slot = (slot + 1) & mask_;
+      }
+      slots_[slot] = {writes_[i].addr, i, epoch_};
+    }
+  }
+
+  std::vector<Write> writes_;
+  std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 1;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace speckle::simt

@@ -53,6 +53,22 @@ struct KernelStats {
   std::uint64_t atomics = 0;
   StallBreakdown stalls;
 
+  /// Fold one SM's wave partial into this kernel's totals (counters and
+  /// stall cycles; identity fields like name/grid are left alone). Called
+  /// in SM order so floating-point sums are schedule-independent.
+  void merge_wave_partial(const KernelStats& sm_partial) {
+    warp_insts += sm_partial.warp_insts;
+    gld_transactions += sm_partial.gld_transactions;
+    gst_transactions += sm_partial.gst_transactions;
+    ro_hits += sm_partial.ro_hits;
+    ro_misses += sm_partial.ro_misses;
+    l2_hits += sm_partial.l2_hits;
+    l2_misses += sm_partial.l2_misses;
+    dram_bytes += sm_partial.dram_bytes;
+    atomics += sm_partial.atomics;
+    stalls += sm_partial.stalls;
+  }
+
   /// Achieved issue throughput as a fraction of peak (Fig 3a, "compute").
   double compute_utilization() const {
     return stalls.total > 0 ? stalls.busy / stalls.total : 0.0;

@@ -10,6 +10,7 @@
 ///   t.ldg(buf, i)     — read-only cached load (__ldg; adds the RO cache)
 ///   t.st(buf, i, v)   — global store
 ///   t.atomic_add/min/max/cas/or — global atomics (serialized per address)
+///   t.atomic_add_discard — atomic add whose return value is unused
 ///   t.compute(n)      — n ALU instructions of dependent work
 ///   t.scan_push(wl,v) — block-cooperative worklist push (one global atomic
 ///                       per block, Fig 5's prefix-sum scheme)
@@ -19,18 +20,33 @@
 /// the bulk-synchronous model for barrier-free kernels; block barriers are
 /// expressed as phase boundaries (Device::launch_phased) or injected by
 /// cooperative primitives.
+///
+/// Global-memory visibility: by default the blocks of one scheduling chunk
+/// (one block per SM) execute against the state the chunk started with,
+/// each layered with its own writes (the executor's speculative overlay);
+/// writes become globally visible when the block commits, in ascending
+/// block order. Launches flagged `racy_visibility` (kernels whose
+/// algorithm feeds on st_racy races) instead run blocks serially with
+/// immediate visibility. See docs/simulator.md ("Host-side parallel
+/// execution") for why both paths are deterministic at every host thread
+/// count. Kernel callables must be safe to invoke concurrently: all global
+/// side effects go through this context, never through captured host
+/// state.
 
 #include <cstdint>
+#include <cstring>
 
 #include "simt/buffer.hpp"
+#include "simt/overlay.hpp"
 #include "simt/trace.hpp"
 
 namespace speckle::simt {
 
 class Worklist;
 
-/// Per-block mutable state owned by the executor (scratchpad contents and
-/// pending cooperative pushes). Kernels never touch this directly.
+/// Per-block mutable state owned by the executor (scratchpad contents,
+/// pending cooperative pushes and the speculative write overlay). Kernels
+/// never touch this directly.
 struct BlockState {
   std::vector<std::uint32_t> shared_words;
   struct PendingPush {
@@ -44,10 +60,46 @@ struct BlockState {
   /// lanes of one warp see the pre-warp state of racy arrays — the
   /// lockstep-SIMD visibility that makes speculative coloring conflict.
   struct DeferredWrite {
-    std::uint32_t* target;
+    std::uint64_t addr;
+    std::uint32_t* host;
     std::uint32_t value;
   };
   std::vector<DeferredWrite> deferred;
+
+  /// Speculative mode: non-null while the block executes as part of a
+  /// concurrent chunk. Stores land here instead of in the buffers; loads
+  /// check it first so the block sees its own writes.
+  WriteOverlay* overlay = nullptr;
+
+  /// First value this block observed (from the chunk-start state) at each
+  /// address it touched with a value-returning atomic. The commit phase
+  /// validates these against the then-committed state; a mismatch means the
+  /// speculated RMW chain started from a stale value and the block is
+  /// deterministically re-executed at its commit slot.
+  struct AtomicObservation {
+    std::uint64_t addr;
+    const void* host;
+    std::uint64_t pre_raw;
+    std::uint8_t size;
+  };
+  std::vector<AtomicObservation> observations;
+
+  /// atomic_add_discard accumulations: commutative, unvalidated, replayed
+  /// at commit (the return value was never observed, so no speculation can
+  /// go wrong).
+  struct DiscardAdd {
+    std::uint32_t* host;
+    std::uint32_t delta;
+  };
+  std::vector<DiscardAdd> discard_adds;
+
+  void note_observation(std::uint64_t addr, const void* host, std::uint64_t pre_raw,
+                        std::uint8_t size) {
+    for (const AtomicObservation& o : observations) {
+      if (o.addr == addr) return;  // only the first observation binds
+    }
+    observations.push_back({addr, host, pre_raw, size});
+  }
 };
 
 class Thread {
@@ -78,7 +130,7 @@ class Thread {
   template <typename T>
   T ld(const Buffer<T>& buf, std::size_t i) {
     trace_.memory(OpKind::kLoad, Space::kGlobal, buf.addr_of(i), sizeof(T));
-    return buf[i];
+    return load_value(buf, i);
   }
 
   /// __ldg(): route through the per-SM read-only data cache. Only valid for
@@ -87,45 +139,45 @@ class Thread {
   template <typename T>
   T ldg(const Buffer<T>& buf, std::size_t i) {
     trace_.memory(OpKind::kLoad, Space::kReadOnly, buf.addr_of(i), sizeof(T));
-    return buf[i];
+    return load_value(buf, i);
   }
 
   template <typename T>
   void st(Buffer<T>& buf, std::size_t i, T value) {
     trace_.memory(OpKind::kStore, Space::kGlobal, buf.addr_of(i), sizeof(T));
-    buf[i] = value;
+    store_value(buf, i, value);
   }
 
   // --- atomics --------------------------------------------------------------
   template <typename T>
   T atomic_add(Buffer<T>& buf, std::size_t i, T delta) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
-    T old = buf[i];
-    buf[i] = static_cast<T>(old + delta);
+    T old = atomic_load_value(buf, i);
+    store_value(buf, i, static_cast<T>(old + delta));
     return old;
   }
 
   template <typename T>
   T atomic_min(Buffer<T>& buf, std::size_t i, T value) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
-    T old = buf[i];
-    if (value < old) buf[i] = value;
+    T old = atomic_load_value(buf, i);
+    if (value < old) store_value(buf, i, value);
     return old;
   }
 
   template <typename T>
   T atomic_max(Buffer<T>& buf, std::size_t i, T value) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
-    T old = buf[i];
-    if (value > old) buf[i] = value;
+    T old = atomic_load_value(buf, i);
+    if (value > old) store_value(buf, i, value);
     return old;
   }
 
   template <typename T>
   T atomic_or(Buffer<T>& buf, std::size_t i, T value) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
-    T old = buf[i];
-    buf[i] = static_cast<T>(old | value);
+    T old = atomic_load_value(buf, i);
+    store_value(buf, i, static_cast<T>(old | value));
     return old;
   }
 
@@ -133,21 +185,39 @@ class Thread {
   template <typename T>
   T atomic_cas(Buffer<T>& buf, std::size_t i, T expected, T desired) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
-    T old = buf[i];
-    if (old == expected) buf[i] = desired;
+    T old = atomic_load_value(buf, i);
+    if (old == expected) store_value(buf, i, desired);
     return old;
   }
 
+  /// Atomic add whose return value the kernel discards (CUDA's
+  /// `(void)atomicAdd(...)` counter idiom). Because nothing downstream
+  /// depends on the pre-value, the executor replays the addition
+  /// commutatively at commit instead of validating it — contended counters
+  /// stay parallel. The kernel must not read the counter back in the same
+  /// launch.
+  void atomic_add_discard(Buffer<std::uint32_t>& buf, std::size_t i,
+                          std::uint32_t delta) {
+    trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i),
+                  sizeof(std::uint32_t));
+    if (block_state_.overlay) {
+      block_state_.discard_adds.push_back({&buf[i], delta});
+    } else {
+      buf[i] += delta;
+    }
+  }
+
   /// Store whose visibility follows warp-lockstep semantics: the write is
-  /// recorded in the trace now but lands in the buffer only when this warp
-  /// retires. Lanes of the same warp therefore read the pre-warp value —
-  /// exactly how concurrent SIMT threads race on a speculative array (the
-  /// `color` array of Algorithms 4/5). The writing thread must not read the
-  /// element back within the same warp execution.
+  /// recorded in the trace now but lands (in the block's overlay, or the
+  /// buffer when executing directly) only when this warp retires. Lanes of
+  /// the same warp therefore read the pre-warp value — exactly how
+  /// concurrent SIMT threads race on a speculative array (the `color` array
+  /// of Algorithms 4/5). The writing thread must not read the element back
+  /// within the same warp execution.
   void st_racy(Buffer<std::uint32_t>& buf, std::size_t i, std::uint32_t value) {
     trace_.memory(OpKind::kStore, Space::kGlobal, buf.addr_of(i),
                   sizeof(std::uint32_t));
-    block_state_.deferred.push_back({&buf[i], value});
+    block_state_.deferred.push_back({buf.addr_of(i), &buf[i], value});
   }
 
   // --- compute ---------------------------------------------------------------
@@ -176,6 +246,57 @@ class Thread {
   void scan_push(Worklist& wl, std::uint32_t value);
 
  private:
+  template <typename T>
+  static std::uint64_t to_raw(T value) {
+    static_assert(sizeof(T) <= 8, "device values are at most 8 bytes");
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, &value, sizeof(T));
+    return raw;
+  }
+
+  template <typename T>
+  static T from_raw(std::uint64_t raw) {
+    T value;
+    std::memcpy(&value, &raw, sizeof(T));
+    return value;
+  }
+
+  /// Overlay-aware read: the block's own writes shadow the chunk-start state.
+  template <typename T>
+  T load_value(const Buffer<T>& buf, std::size_t i) const {
+    if (block_state_.overlay) {
+      if (const std::uint64_t* raw = block_state_.overlay->find(buf.addr_of(i))) {
+        return from_raw<T>(*raw);
+      }
+    }
+    return buf[i];
+  }
+
+  /// Overlay-aware read for atomics: a pre-value taken from the chunk-start
+  /// state (rather than the block's own writes) is a speculation the commit
+  /// phase must validate, so record it.
+  template <typename T>
+  T atomic_load_value(Buffer<T>& buf, std::size_t i) {
+    if (block_state_.overlay) {
+      if (const std::uint64_t* raw = block_state_.overlay->find(buf.addr_of(i))) {
+        return from_raw<T>(*raw);
+      }
+      T old = buf[i];
+      block_state_.note_observation(buf.addr_of(i), &buf[i], to_raw(old), sizeof(T));
+      return old;
+    }
+    return buf[i];
+  }
+
+  template <typename T>
+  void store_value(Buffer<T>& buf, std::size_t i, T value) {
+    if (block_state_.overlay) {
+      block_state_.overlay->put(buf.addr_of(i), &buf[i], to_raw(value), sizeof(T));
+    } else {
+      buf[i] = value;
+    }
+  }
+
   std::uint32_t block_;
   std::uint32_t thread_in_block_;
   std::uint32_t block_dim_;

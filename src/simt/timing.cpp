@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "support/check.hpp"
+#include "support/threadpool.hpp"
 
 namespace speckle::simt {
 namespace {
@@ -33,7 +34,9 @@ struct BarrierRt {
 
 TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
                                              const std::vector<const BlockWork*>& blocks,
-                                             double start, KernelStats& stats) {
+                                             double start, KernelStats& stats,
+                                             MemorySystem::WaveView& view) {
+  (void)sm;
   SmOutcome outcome;
   outcome.finish = start;
   if (blocks.empty()) return outcome;
@@ -141,7 +144,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
               throttled = true;
             }
           }
-          const MemorySystem::LoadResult r = memory_.load(sm, op.space, line);
+          const MemorySystem::LoadResult r = view.load(op.space, line);
           ++stats.gld_transactions;
           if (op.space == Space::kReadOnly) {
             r.ro_hit ? ++stats.ro_hits : ++stats.ro_misses;
@@ -170,7 +173,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
         ++stats.warp_insts;
         for (std::uint64_t line : op.addrs) {
           ++stats.gst_transactions;
-          if (memory_.store(line)) {
+          if (view.store(line)) {
             ++outcome.dram_transactions;
             stats.dram_bytes += dev_.dram_sector_bytes;
           }
@@ -186,7 +189,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
         ++stats.warp_insts;
         double done = clock;
         for (std::uint64_t addr : op.addrs) {
-          done = std::max(done, memory_.atomic(addr, clock));
+          done = std::max(done, view.atomic(addr, clock));
           ++stats.atomics;
         }
         w.ready = done;
@@ -229,16 +232,38 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
 }
 
 double TimingEngine::run_wave(const std::vector<std::vector<const BlockWork*>>& per_sm,
-                              double start, KernelStats& stats) {
+                              double start, KernelStats& stats,
+                              support::ThreadPool* pool) {
   SPECKLE_CHECK(per_sm.size() == dev_.num_sms, "per_sm must have one entry per SM");
-  std::vector<SmOutcome> outcomes(per_sm.size());
+  const std::uint32_t num_sms = static_cast<std::uint32_t>(per_sm.size());
+
+  // Per-SM wave views and stats partials: the event loops share nothing, so
+  // they can run on the pool; merging in SM order below makes the totals
+  // (including the floating-point stall sums) independent of the schedule.
+  std::vector<MemorySystem::WaveView> views;
+  views.reserve(num_sms);
+  for (std::uint32_t sm = 0; sm < num_sms; ++sm) views.push_back(memory_.wave_view(sm));
+  std::vector<KernelStats> partials(num_sms);
+  std::vector<SmOutcome> outcomes(num_sms);
+
+  auto run_one = [&](std::size_t sm, unsigned) {
+    outcomes[sm] = run_sm(static_cast<std::uint32_t>(sm), per_sm[sm], start,
+                          partials[sm], views[sm]);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_deterministic(num_sms, run_one);
+  } else {
+    for (std::uint32_t sm = 0; sm < num_sms; ++sm) run_one(sm, 0);
+  }
+
   double finish = start;
   std::uint64_t wave_dram = 0;
-  for (std::uint32_t sm = 0; sm < per_sm.size(); ++sm) {
-    outcomes[sm] = run_sm(sm, per_sm[sm], start, stats);
+  for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
+    stats.merge_wave_partial(partials[sm]);
     finish = std::max(finish, outcomes[sm].finish);
     wave_dram += outcomes[sm].dram_transactions;
   }
+  memory_.commit_wave(views);
 
   // DRAM bandwidth floor: the wave can't finish faster than its DRAM
   // traffic (in 32-byte sectors) can be served. Queueing behind saturated

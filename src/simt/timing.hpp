@@ -21,6 +21,10 @@
 #include "simt/stats.hpp"
 #include "simt/trace.hpp"
 
+namespace speckle::support {
+class ThreadPool;
+}
+
 namespace speckle::simt {
 
 /// One thread block's merged warp traces, ready for timing.
@@ -35,9 +39,13 @@ class TimingEngine {
 
   /// Simulate one wave. `per_sm[sm]` holds the blocks resident on that SM.
   /// Returns the wave's end cycle; accumulates counters and stalls into
-  /// `stats`.
+  /// `stats`. Each SM's event loop runs against its own wave view of the
+  /// memory system and its own stats partial, merged in SM order afterwards
+  /// — so the result is bit-identical whether the loops run serially
+  /// (`pool == nullptr`) or concurrently on `pool`.
   double run_wave(const std::vector<std::vector<const BlockWork*>>& per_sm,
-                  double start, KernelStats& stats);
+                  double start, KernelStats& stats,
+                  support::ThreadPool* pool = nullptr);
 
  private:
   struct SmOutcome {
@@ -46,7 +54,7 @@ class TimingEngine {
   };
 
   SmOutcome run_sm(std::uint32_t sm, const std::vector<const BlockWork*>& blocks,
-                   double start, KernelStats& stats);
+                   double start, KernelStats& stats, MemorySystem::WaveView& view);
 
   const DeviceConfig& dev_;
   MemorySystem& memory_;

@@ -1,0 +1,87 @@
+#include "support/threadpool.hpp"
+
+namespace speckle::support {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (unsigned slot = 1; slot < threads; ++slot) {
+    workers_.emplace_back([this, slot] { worker_main(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_indices(const IndexFn& fn, unsigned slot) {
+  for (;;) {
+    std::size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_ >= count_) return;
+      i = next_++;
+    }
+    try {
+      fn(i, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      next_ = count_;  // abandon the remaining indices
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_main(unsigned slot) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const IndexFn* fn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+    }
+    run_indices(*fn, slot);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_deterministic(std::size_t count, const IndexFn& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_ = 0;
+    error_ = nullptr;
+    active_workers_ = static_cast<unsigned>(workers_.size());
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_indices(fn, 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace speckle::support

@@ -43,7 +43,10 @@ TEST(Regression, PinnedSchemeColorsAndIterations) {
     std::uint32_t iterations;
   };
   // Baselined 2026-07: deterministic outputs of each scheme on the pinned
-  // graph with default options.
+  // graph with default options. These survived the parallel wave executor
+  // unchanged: speculative (st_racy) kernels keep the serial immediate-
+  // visibility semantics, and snapshot-executed kernels commit in block
+  // order, so every scheme still computes exactly these values.
   const Pin pins[] = {
       {Scheme::kTopoBase, 9, 3},
       {Scheme::kDataBase, 9, 2},

@@ -167,7 +167,9 @@ TEST(Device, ScanPushOrderIsBlockMajorThreadOrder) {
 TEST(Device, PerItemAtomicPushCostsMoreAtomics) {
   Device dev;
   Worklist scan_wl(dev, 1024), atomic_wl(dev, 1024);
-  const auto& scan_stats =
+  // Copy, not reference: the next launch grows the report's kernel vector
+  // and would invalidate a reference (TSan catches the stale read).
+  const auto scan_stats =
       dev.launch({.grid_blocks = 8, .block_threads = 128}, "scan", [&](Thread& t) {
         t.scan_push(scan_wl, static_cast<std::uint32_t>(t.global_id()));
       });

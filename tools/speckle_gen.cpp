@@ -9,6 +9,10 @@
 ///               --c=0.15 --d=0.25 --out=my.mtx
 ///   speckle_gen --gen=stencil3d --nx=64 --ny=64 --nz=64 --out=grid.mtx
 ///   speckle_gen --gen=geometric --n=10000 --radius=0.02 --out=disk.mtx
+///
+/// --threads=N is accepted for command-line symmetry with speckle_color
+/// (scripts often share a flag set); generation itself is single-threaded,
+/// so the flag has no effect here.
 
 #include <iostream>
 
@@ -28,6 +32,7 @@ int main(int argc, char** argv) {
   const std::string gen = opts.get_string("gen", "");
   const std::string out = opts.get_string("out", "");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  (void)opts.get_int("threads", 0);  // accepted for speckle_color symmetry
   SPECKLE_CHECK(!out.empty(), "--out=<path.mtx> is required");
   SPECKLE_CHECK(suite.empty() != gen.empty(),
                 "pass exactly one of --suite=<name> or --gen=<kind>");
@@ -35,7 +40,7 @@ int main(int argc, char** argv) {
   graph::CsrGraph g;
   if (!suite.empty()) {
     const auto denom = static_cast<std::uint32_t>(opts.get_int("denom", 8));
-    opts.validate({"suite", "denom", "out", "seed"});
+    opts.validate({"suite", "denom", "out", "seed", "threads"});
     g = graph::make_suite_graph(suite, denom, seed);
   } else if (gen == "rmat") {
     const auto scale = static_cast<std::uint32_t>(opts.get_int("scale", 16));
@@ -46,28 +51,28 @@ int main(int argc, char** argv) {
     params.b = opts.get_double("b", 0.25);
     params.c = opts.get_double("c", 0.25);
     params.d = opts.get_double("d", 0.25);
-    opts.validate({"gen", "scale", "edges", "a", "b", "c", "d", "out", "seed"});
+    opts.validate({"gen", "scale", "edges", "a", "b", "c", "d", "out", "seed", "threads"});
     g = graph::build_csr(1u << scale, graph::rmat(scale, edges, params, seed));
   } else if (gen == "stencil2d") {
     const auto nx = static_cast<vid_t>(opts.get_int("nx", 512));
     const auto ny = static_cast<vid_t>(opts.get_int("ny", 512));
-    opts.validate({"gen", "nx", "ny", "out", "seed"});
+    opts.validate({"gen", "nx", "ny", "out", "seed", "threads"});
     g = graph::build_csr(nx * ny, graph::stencil2d(nx, ny));
   } else if (gen == "stencil3d") {
     const auto nx = static_cast<vid_t>(opts.get_int("nx", 64));
     const auto ny = static_cast<vid_t>(opts.get_int("ny", 64));
     const auto nz = static_cast<vid_t>(opts.get_int("nz", 64));
-    opts.validate({"gen", "nx", "ny", "nz", "out", "seed"});
+    opts.validate({"gen", "nx", "ny", "nz", "out", "seed", "threads"});
     g = graph::build_csr(nx * ny * nz, graph::stencil3d(nx, ny, nz));
   } else if (gen == "geometric") {
     const auto n = static_cast<vid_t>(opts.get_int("n", 10000));
     const double radius = opts.get_double("radius", 0.02);
-    opts.validate({"gen", "n", "radius", "out", "seed"});
+    opts.validate({"gen", "n", "radius", "out", "seed", "threads"});
     g = graph::build_csr(n, graph::geometric(n, radius, seed));
   } else if (gen == "erdos-renyi") {
     const auto n = static_cast<vid_t>(opts.get_int("n", 100000));
     const auto edges = static_cast<std::uint64_t>(opts.get_int("edges", 10 * n));
-    opts.validate({"gen", "n", "edges", "out", "seed"});
+    opts.validate({"gen", "n", "edges", "out", "seed", "threads"});
     g = graph::build_csr(n, graph::erdos_renyi(n, edges, seed));
   } else {
     SPECKLE_CHECK(false, "unknown --gen '" + gen +
