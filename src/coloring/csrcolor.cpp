@@ -77,13 +77,13 @@ GpuResult csrcolor(const graph::CsrGraph& g, const CsrColorOptions& opts) {
 
   simt::Device dev(opts.device);
   DeviceGraph dg = upload_graph(dev, g);
-  auto colors = dev.alloc<std::uint32_t>(n);
+  auto colors = dev.alloc<std::uint32_t>(n, "colors");
   colors.fill(kUncolored);
   // Pass-start snapshot of the uncolored predicate (the real implementation
   // tests color[w] == 0 against the pass-start color array; keeping an
   // explicit snapshot buffer models the same traffic).
-  auto uncolored = dev.alloc<std::uint32_t>(n);
-  auto counter = dev.alloc<std::uint32_t>(1);
+  auto uncolored = dev.alloc<std::uint32_t>(n, "uncolored");
+  auto counter = dev.alloc<std::uint32_t>(1, "counter");
 
   const simt::LaunchConfig cfg{(n + opts.block_size - 1) / opts.block_size,
                                opts.block_size};
@@ -167,9 +167,7 @@ GpuResult csrcolor(const graph::CsrGraph& g, const CsrColorOptions& opts) {
 
   result.coloring.assign(colors.host().begin(), colors.host().end());
   result.num_colors = count_colors(result.coloring);
-  result.report = dev.report();
-  result.model_ms = dev.report().ms(dev.config());
-  result.wall_ms = wall.milliseconds();
+  finish_gpu_result(result, dev, wall);
   return result;
 }
 

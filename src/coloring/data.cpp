@@ -16,12 +16,12 @@ GpuResult data_color(const graph::CsrGraph& g, const DataOptions& opts) {
 
   simt::Device dev(opts.device);
   DeviceGraph dg = upload_graph(dev, g);
-  auto colors = dev.alloc<std::uint32_t>(n);
+  auto colors = dev.alloc<std::uint32_t>(n, "colors");
   colors.fill(kUncolored);
 
   // Double-buffered worklists (Algorithm 5 line 19): swapped by pointer.
-  simt::Worklist list_a(dev, n);
-  simt::Worklist list_b(dev, n);
+  simt::Worklist list_a(dev, n, "list_a");
+  simt::Worklist list_b(dev, n, "list_b");
   simt::Worklist* w_in = &list_a;
   simt::Worklist* w_out = &list_b;
   w_in->fill_iota(n);  // W_in <- V
@@ -76,9 +76,7 @@ GpuResult data_color(const graph::CsrGraph& g, const DataOptions& opts) {
 
   result.coloring.assign(colors.host().begin(), colors.host().end());
   result.num_colors = count_colors(result.coloring);
-  result.report = dev.report();
-  result.model_ms = dev.report().ms(dev.config());
-  result.wall_ms = wall.milliseconds();
+  finish_gpu_result(result, dev, wall);
   return result;
 }
 

@@ -139,9 +139,9 @@ GpuResult topo_color_d2(const graph::CsrGraph& g, const GpuOptions& opts) {
 
   simt::Device dev(opts.device);
   DeviceGraph dg = upload_graph(dev, g);
-  auto colors = dev.alloc<std::uint32_t>(n);
-  auto colored = dev.alloc<std::uint32_t>(n);
-  auto changed = dev.alloc<std::uint32_t>(1);
+  auto colors = dev.alloc<std::uint32_t>(n, "colors");
+  auto colored = dev.alloc<std::uint32_t>(n, "colored");
+  auto changed = dev.alloc<std::uint32_t>(1, "changed");
   colors.fill(kUncolored);
   colored.fill(0);
 
@@ -181,9 +181,7 @@ GpuResult topo_color_d2(const graph::CsrGraph& g, const GpuOptions& opts) {
 
   result.coloring.assign(colors.host().begin(), colors.host().end());
   result.num_colors = count_colors(result.coloring);
-  result.report = dev.report();
-  result.model_ms = dev.report().ms(dev.config());
-  result.wall_ms = wall.milliseconds();
+  finish_gpu_result(result, dev, wall);
   return result;
 }
 

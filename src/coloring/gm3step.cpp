@@ -20,8 +20,8 @@ Gm3Result gm3step_color(const graph::CsrGraph& g, const Gm3Options& opts) {
 
   simt::Device dev(opts.device);
   DeviceGraph dg = upload_graph(dev, g);
-  auto colors = dev.alloc<std::uint32_t>(n);
-  auto conflicted = dev.alloc<std::uint32_t>(n);
+  auto colors = dev.alloc<std::uint32_t>(n, "colors");
+  auto conflicted = dev.alloc<std::uint32_t>(n, "conflicted");
   colors.fill(kUncolored);
   conflicted.fill(1);  // round 1 colors everything
 
@@ -118,9 +118,7 @@ Gm3Result gm3step_color(const graph::CsrGraph& g, const Gm3Options& opts) {
   dev.copy_to_device(colors.byte_size());
 
   result.num_colors = count_colors(result.coloring);
-  result.report = dev.report();
-  result.model_ms = dev.report().ms(dev.config());
-  result.wall_ms = wall.milliseconds();
+  finish_gpu_result(result, dev, wall);
   return result;
 }
 

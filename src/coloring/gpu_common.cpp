@@ -8,11 +8,19 @@ using graph::vid_t;
 DeviceGraph upload_graph(simt::Device& dev, const graph::CsrGraph& g) {
   DeviceGraph dg;
   dg.num_vertices = g.num_vertices();
-  dg.row = dev.alloc<eid_t>(g.num_vertices() + 1);
-  dg.col = dev.alloc<vid_t>(g.num_edges());
+  dg.row = dev.alloc<eid_t>(g.num_vertices() + 1, "row");
+  dg.col = dev.alloc<vid_t>(g.num_edges(), "col");
   dg.row.copy_from(g.row_offsets());
   dg.col.copy_from(g.col_indices());
   return dg;
+}
+
+void finish_gpu_result(GpuResult& result, const simt::Device& dev,
+                       const support::Timer& wall) {
+  result.report = dev.report();
+  result.model_ms = result.report.ms(dev.config());
+  result.wall_ms = wall.milliseconds();
+  result.san = dev.san_report();
 }
 
 color_t device_first_fit(simt::Thread& t, const DeviceGraph& dg,

@@ -9,6 +9,7 @@
 #include "coloring/coloring.hpp"
 #include "graph/csr_graph.hpp"
 #include "simt/device.hpp"
+#include "support/timer.hpp"
 
 namespace speckle::coloring {
 
@@ -41,7 +42,14 @@ struct GpuResult {
   simt::DeviceReport report;  ///< kernel log, transfers, timeline
   double model_ms = 0.0;      ///< report.total_cycles in milliseconds
   double wall_ms = 0.0;       ///< host wall clock of the simulation itself
+  san::Report san;      ///< sanitizer findings (empty unless
+                              ///< GpuOptions::device.sanitize was set)
 };
+
+/// Fill the result fields every scheme reports identically: the device
+/// report, the model/wall-clock milliseconds, and the sanitizer findings.
+void finish_gpu_result(GpuResult& result, const simt::Device& dev,
+                       const support::Timer& wall);
 
 /// Device-side first fit: smallest color >= 1 not used by any neighbor of
 /// v, scanning a 64-color bitmask window and widening on overflow (the GPU

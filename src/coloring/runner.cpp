@@ -107,6 +107,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.wall_ms = r.wall_ms;
       result.iterations = r.iterations;
       result.report = std::move(r.report);
+      result.san = std::move(r.san);
       break;
     }
     case Scheme::kTopoBase:
@@ -117,6 +118,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.wall_ms = r.wall_ms;
       result.iterations = r.iterations;
       result.report = std::move(r.report);
+      result.san = std::move(r.san);
       break;
     }
     case Scheme::kDataBase:
@@ -134,6 +136,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.wall_ms = r.wall_ms;
       result.iterations = r.iterations;
       result.report = std::move(r.report);
+      result.san = std::move(r.san);
       break;
     }
     case Scheme::kCsrColor:
@@ -151,6 +154,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.wall_ms = r.wall_ms;
       result.iterations = r.iterations;
       result.report = std::move(r.report);
+      result.san = std::move(r.san);
       break;
     }
     case Scheme::kJonesPlassmann: {

@@ -64,6 +64,8 @@ struct RunResult {
   double model_ms = 0.0;  ///< simulated (GPU) or modeled (CPU) time
   double wall_ms = 0.0;   ///< host wall clock (real time of the CPU schemes)
   simt::DeviceReport report;  ///< empty for CPU schemes
+  san::Report san;      ///< sanitizer findings (empty for CPU schemes
+                              ///< or when RunOptions::device.sanitize is off)
 };
 
 /// Run one scheme on one graph. Aborts if the scheme produced an improper

@@ -15,8 +15,8 @@ namespace {
 /// vertex with >= 64 distinctly-colored neighbors): rescan the adjacency
 /// serially with ever-wider windows. Rare; costs the realistic divergence.
 color_t lane0_wide_first_fit(simt::Thread& t, const DeviceGraph& dg,
-                             simt::Buffer<std::uint32_t>& colors, vid_t v,
-                             eid_t begin, eid_t end, bool use_ldg) {
+                             simt::Buffer<std::uint32_t>& colors, eid_t begin,
+                             eid_t end, bool use_ldg) {
   for (color_t base = 65;; base += 64) {
     std::uint64_t forbidden = 0;
     for (eid_t e = begin; e < end; ++e) {
@@ -44,11 +44,11 @@ GpuResult data_warp_color(const graph::CsrGraph& g, const DataOptions& opts) {
 
   simt::Device dev(opts.device);
   DeviceGraph dg = upload_graph(dev, g);
-  auto colors = dev.alloc<std::uint32_t>(n);
+  auto colors = dev.alloc<std::uint32_t>(n, "colors");
   colors.fill(kUncolored);
 
-  simt::Worklist list_a(dev, n);
-  simt::Worklist list_b(dev, n);
+  simt::Worklist list_a(dev, n, "list_a");
+  simt::Worklist list_b(dev, n, "list_b");
   simt::Worklist* w_in = &list_a;
   simt::Worklist* w_out = &list_b;
   w_in->fill_iota(n);
@@ -120,7 +120,7 @@ GpuResult data_warp_color(const graph::CsrGraph& g, const DataOptions& opts) {
             const eid_t begin = opts.use_ldg ? t.ldg(dg.row, v) : t.ld(dg.row, v);
             const eid_t end =
                 opts.use_ldg ? t.ldg(dg.row, v + 1) : t.ld(dg.row, v + 1);
-            c = lane0_wide_first_fit(t, dg, colors, v, begin, end, opts.use_ldg);
+            c = lane0_wide_first_fit(t, dg, colors, begin, end, opts.use_ldg);
           }
           t.st_racy(colors, v, c);
         },
@@ -151,9 +151,7 @@ GpuResult data_warp_color(const graph::CsrGraph& g, const DataOptions& opts) {
 
   result.coloring.assign(colors.host().begin(), colors.host().end());
   result.num_colors = count_colors(result.coloring);
-  result.report = dev.report();
-  result.model_ms = dev.report().ms(dev.config());
-  result.wall_ms = wall.milliseconds();
+  finish_gpu_result(result, dev, wall);
   return result;
 }
 

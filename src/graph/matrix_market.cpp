@@ -14,66 +14,86 @@ std::string lower(std::string s) {
   return s;
 }
 
+void require(bool ok, const std::string& message) {
+  if (!ok) throw MatrixMarketError(message);
+}
+
 }  // namespace
 
 CsrGraph read_matrix_market(const std::string& path) {
   std::ifstream in(path);
-  SPECKLE_CHECK(in.good(), "cannot open matrix market file '" + path + "'");
+  require(in.good(), "cannot open matrix market file '" + path + "'");
   return read_matrix_market(in, path);
 }
 
 CsrGraph read_matrix_market(std::istream& in, const std::string& name) {
   std::string line;
-  SPECKLE_CHECK(static_cast<bool>(std::getline(in, line)), name + ": empty file");
+  require(static_cast<bool>(std::getline(in, line)), name + ": empty file");
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
-  SPECKLE_CHECK(banner == "%%MatrixMarket", name + ": missing %%MatrixMarket banner");
-  SPECKLE_CHECK(lower(object) == "matrix", name + ": only 'matrix' objects supported");
-  SPECKLE_CHECK(lower(format) == "coordinate",
-                name + ": only 'coordinate' format supported");
+  require(banner == "%%MatrixMarket", name + ": missing %%MatrixMarket banner");
+  require(!symmetry.empty(),
+          name + ": truncated banner (expected '%%MatrixMarket object format "
+                 "field symmetry')");
+  require(lower(object) == "matrix", name + ": only 'matrix' objects supported");
+  require(lower(format) == "coordinate",
+          name + ": only 'coordinate' format supported");
   field = lower(field);
   const bool has_values = field != "pattern";
-  SPECKLE_CHECK(field == "pattern" || field == "real" || field == "integer" ||
-                    field == "complex",
-                name + ": unsupported field '" + field + "'");
+  require(field == "pattern" || field == "real" || field == "integer" ||
+              field == "complex",
+          name + ": unsupported field '" + field + "'");
   symmetry = lower(symmetry);
-  SPECKLE_CHECK(symmetry == "general" || symmetry == "symmetric" ||
-                    symmetry == "skew-symmetric" || symmetry == "hermitian",
-                name + ": unsupported symmetry '" + symmetry + "'");
+  require(symmetry == "general" || symmetry == "symmetric" ||
+              symmetry == "skew-symmetric" || symmetry == "hermitian",
+          name + ": unsupported symmetry '" + symmetry + "'");
 
   // Skip comments, read the size line.
   std::uint64_t rows = 0, cols = 0, entries = 0;
+  bool have_size = false;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '%') continue;
     std::istringstream size_line(line);
-    SPECKLE_CHECK(static_cast<bool>(size_line >> rows >> cols >> entries),
-                  name + ": malformed size line");
+    require(static_cast<bool>(size_line >> rows >> cols >> entries),
+            name + ": malformed size line '" + line + "'");
+    have_size = true;
     break;
   }
-  SPECKLE_CHECK(rows > 0 && rows == cols,
-                name + ": coloring requires a square matrix");
-  SPECKLE_CHECK(rows <= kInvalidVertex, name + ": too many rows for 32-bit ids");
+  require(have_size, name + ": missing size line (file ends after the header)");
+  require(rows > 0 && rows == cols, name + ": coloring requires a square matrix");
+  require(rows <= kInvalidVertex, name + ": too many rows for 32-bit ids");
+  // rows and cols both fit in 32 bits here, so the product cannot wrap.
+  require(entries <= rows * cols,
+          name + ": size line promises " + std::to_string(entries) +
+              " entries, more than a " + std::to_string(rows) + "x" +
+              std::to_string(cols) + " matrix can hold");
 
   EdgeList edges;
-  edges.reserve(entries);
+  // Reserve conservatively: `entries` is attacker-controlled until the
+  // lines are actually read, so don't let a dishonest size line allocate
+  // gigabytes up front.
+  edges.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(entries, std::uint64_t{1} << 22)));
   std::uint64_t seen = 0;
   while (seen < entries && std::getline(in, line)) {
     if (line.empty() || line[0] == '%') continue;
     std::istringstream entry(line);
     std::uint64_t r = 0, c = 0;
-    SPECKLE_CHECK(static_cast<bool>(entry >> r >> c),
-                  name + ": malformed entry line '" + line + "'");
+    require(static_cast<bool>(entry >> r >> c),
+            name + ": malformed entry line '" + line + "'");
     if (has_values) {
       // Values are present but irrelevant to structure; don't validate them
       // beyond the indices (complex matrices carry two reals).
     }
-    SPECKLE_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                  name + ": entry index out of range");
+    require(r >= 1 && r <= rows && c >= 1 && c <= cols,
+            name + ": entry index out of range");
     edges.push_back({static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1)});
     ++seen;
   }
-  SPECKLE_CHECK(seen == entries, name + ": fewer entries than the size line promised");
+  require(seen == entries, name + ": fewer entries than the size line promised (" +
+                               std::to_string(seen) + " of " +
+                               std::to_string(entries) + ")");
   // build_csr symmetrizes (covers general *and* symmetric storage), removes
   // the diagonal and duplicates.
   return build_csr(static_cast<vid_t>(rows), std::move(edges));

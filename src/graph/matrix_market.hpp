@@ -12,14 +12,27 @@
 /// are used (DESIGN.md §2).
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/csr_graph.hpp"
 
 namespace speckle::graph {
 
+/// Thrown by the reader on any malformed input — unreadable file, bad or
+/// truncated banner, missing/malformed size line, an entry count that
+/// exceeds the matrix's capacity, out-of-range or malformed entries, or a
+/// file that ends before the promised entry count. Inputs come from
+/// outside the program, so they fail with a catchable, descriptive error
+/// rather than the SPECKLE_CHECK abort reserved for programmer mistakes.
+class MatrixMarketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Read a Matrix Market file into a symmetrized, deduplicated CSR graph.
-/// Aborts with a diagnostic on malformed input.
+/// Throws MatrixMarketError (message prefixed with the file name) on
+/// malformed input.
 CsrGraph read_matrix_market(const std::string& path);
 
 /// Stream variant (used by tests; `name` appears in error messages).

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "simt/san.hpp"
 #include "support/check.hpp"
 
 namespace speckle::simt {
@@ -34,23 +35,39 @@ class Buffer {
 
   /// Host-side access (initialisation and result readback; the simulated
   /// transfer cost, when it matters, is charged via Device::copy_*).
-  T& operator[](std::size_t i) { return data_[i]; }
+  /// When the owning device sanitizes, every mutable host access marks the
+  /// touched words initialised in the shadow map — conservative (a read
+  /// through the non-const path marks too), which can only suppress
+  /// uninitialized-load findings, never invent them.
+  T& operator[](std::size_t i) {
+    if (san_ != nullptr) san_->on_host_write(addr_of(i), sizeof(T));
+    return data_[i];
+  }
   const T& operator[](std::size_t i) const { return data_[i]; }
-  std::span<T> host() { return data_; }
+  std::span<T> host() {
+    if (san_ != nullptr) san_->on_host_write(base_, byte_size());
+    return data_;
+  }
   std::span<const T> host() const { return data_; }
 
-  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+  void fill(T value) {
+    if (san_ != nullptr) san_->on_host_write(base_, byte_size());
+    std::fill(data_.begin(), data_.end(), value);
+  }
 
   void copy_from(std::span<const T> src) {
     SPECKLE_CHECK(src.size() == data_.size(), "copy_from size mismatch");
+    if (san_ != nullptr) san_->on_host_write(base_, byte_size());
     std::copy(src.begin(), src.end(), data_.begin());
   }
 
  private:
   friend class Device;
-  Buffer(std::uint64_t base, std::size_t n) : base_(base), data_(n) {}
+  Buffer(std::uint64_t base, std::size_t n, san::Sanitizer* san = nullptr)
+      : base_(base), san_(san), data_(n) {}
 
   std::uint64_t base_ = 0;
+  san::Sanitizer* san_ = nullptr;  ///< owned by the Device; null when off
   std::vector<T> data_;
 };
 

@@ -59,6 +59,13 @@ struct DeviceConfig {
   /// bit-identical for every value — only host wall-clock changes.
   std::uint32_t host_threads = 1;
 
+  /// Enable the speckle::san instrumentation layer (san.hpp): every device
+  /// access is shadow-tracked and checked for out-of-bounds, uninitialized
+  /// reads, undeclared cross-block races, __ldg coherence violations and
+  /// worklist misuse. Reports are bit-identical at every host_threads value.
+  /// Off by default — sanitizing costs roughly 2x functional execution.
+  bool sanitize = false;
+
   /// Peak DRAM bytes per core cycle (used for bandwidth capping and the
   /// achieved-bandwidth metric of Fig 3).
   double dram_bytes_per_cycle() const {

@@ -25,6 +25,10 @@ void Thread::scan_push(Worklist& wl, std::uint32_t value) {
   // Ballot + local prefix work at the call site; the block-wide compaction
   // is charged at block retirement (flush_scan_pushes).
   compute(3);
+  if (block_state_.san != nullptr) {
+    block_state_.san->note_push_target(wl.items().base_addr(),
+                                       wl.tail().base_addr());
+  }
   block_state_.pushes.push_back({&wl, value, thread_in_block_});
 }
 
@@ -35,6 +39,7 @@ struct Device::ExecArena {
   std::vector<std::vector<ThreadTrace>> traces;  ///< [warp][lane]
   BlockState bstate;
   WriteOverlay overlay;
+  san::BlockLog san_log;  ///< used only when the device sanitizes
 };
 
 /// A block's speculated side effects, held from its (concurrent) execution
@@ -44,10 +49,15 @@ struct Device::BlockResult {
   std::vector<BlockState::AtomicObservation> observations;
   std::vector<BlockState::PendingPush> pushes;
   std::vector<BlockState::DiscardAdd> discard_adds;
+  san::BlockLog san_log;
 };
 
 Device::Device(DeviceConfig config)
-    : config_(config), memory_(config_), engine_(config_, memory_) {}
+    : config_(config), memory_(config_), engine_(config_, memory_) {
+  if (config_.sanitize) {
+    san_ = std::make_unique<san::Sanitizer>(config_.line_bytes);
+  }
+}
 
 Device::~Device() = default;
 
@@ -79,9 +89,11 @@ namespace {
 /// the CUB-style block scan (log-depth scratchpad traversal + two barriers),
 /// ONE tail atomic per block, and coalesced item stores. Runs in the commit
 /// phase, so it reads and writes the real (committed) buffers.
+/// When sanitizing, a push past the worklist's capacity is clamped and
+/// reported instead of aborting the process.
 void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
                        std::vector<BlockState::PendingPush>& pushes,
-                       BlockWork& work) {
+                       BlockWork& work, san::Sanitizer* san, std::uint32_t block) {
   if (pushes.empty()) return;
 
   const std::uint32_t scan_insts = 2 * ceil_log2(std::max(2u, cfg.block_threads));
@@ -116,8 +128,20 @@ void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
     Buffer<std::uint32_t>& tail = wl->tail();
     Buffer<std::uint32_t>& items = wl->items();
     const std::uint32_t offset = tail[0];
+    if (san != nullptr && offset + count > items.size()) {
+      san->on_worklist_overflow(items.base_addr(), block, offset + count,
+                                items.size());
+      count = items.size() - std::min<std::size_t>(offset, items.size());
+    }
     SPECKLE_CHECK(offset + count <= items.size(), "worklist overflow");
     tail[0] = offset + static_cast<std::uint32_t>(count);
+    if (san != nullptr) {
+      // These runtime stores happen here, on the serial commit path, not
+      // through Thread — mark the written words defined explicitly.
+      san->on_commit_write(tail.addr_of(0), sizeof(std::uint32_t));
+      san->on_commit_write(items.addr_of(offset),
+                           count * sizeof(std::uint32_t));
+    }
 
     // Timing: one atomic on the tail, performed by warp 0's leader.
     work.warps.front().ops.push_back(
@@ -141,6 +165,7 @@ void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
     std::size_t idx = 0;
     for (const BlockState::PendingPush& push : pushes) {
       if (push.worklist != wl) continue;
+      if (idx >= count) break;  // clamped overflow: drop the excess
       const std::uint32_t warp = push.thread_in_block / dev.warp_size;
       if (warp != run_warp) {
         emit_warp_store(run_warp);
@@ -192,6 +217,12 @@ void Device::execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& p
   bstate.discard_adds.clear();
   arena.overlay.clear();
   bstate.overlay = speculative ? &arena.overlay : nullptr;
+  if (san_ != nullptr) {
+    arena.san_log.reset(block);
+    bstate.san = &arena.san_log;
+  } else {
+    bstate.san = nullptr;
+  }
 
   for (std::size_t phase = 0; phase < phases.size(); ++phase) {
     for (std::uint32_t w = 0; w < warps_per_block; ++w) {
@@ -235,8 +266,12 @@ void Device::execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& p
     result->pushes.assign(bstate.pushes.begin(), bstate.pushes.end());
     result->discard_adds.assign(bstate.discard_adds.begin(),
                                 bstate.discard_adds.end());
+    // Swap (not copy) the access log out of the arena: the arena's next
+    // reset() clears whatever lands back in it.
+    if (san_ != nullptr) std::swap(result->san_log, arena.san_log);
   }
   bstate.overlay = nullptr;
+  bstate.san = nullptr;
 }
 
 void Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
@@ -257,13 +292,17 @@ void Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& ph
   }
 
   if (valid) {
+    // Fold the access log before applying the writes: the definedness
+    // checks must see the state this block's loads actually read (the
+    // chunk-start snapshot plus earlier commits), not its own stores.
+    if (san_ != nullptr) san_->commit_block(result.san_log);
     for (const WriteOverlay::Write& write : result.writes) {
       std::memcpy(write.host, &write.raw, write.size);
     }
     for (const BlockState::DiscardAdd& add : result.discard_adds) {
       *add.host += add.delta;
     }
-    flush_scan_pushes(config_, cfg, result.pushes, work);
+    flush_scan_pushes(config_, cfg, result.pushes, work, san_.get(), block);
     return;
   }
 
@@ -271,10 +310,13 @@ void Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& ph
   // worklist slots): re-execute the block directly against the committed
   // state at its commit slot. The decision and the replay depend only on
   // committed state, so every host thread count takes the same path.
+  // (The replay regenerates the access log, so the sanitizer folds the
+  // accesses the block *really* performed, not the discarded speculation.)
   ExecArena& arena = *arenas_.front();
   execute_block(cfg, phases, block, warps_per_block, arena, /*speculative=*/false,
                 work, nullptr);
-  flush_scan_pushes(config_, cfg, arena.bstate.pushes, work);
+  if (san_ != nullptr) san_->commit_block(arena.san_log);
+  flush_scan_pushes(config_, cfg, arena.bstate.pushes, work, san_.get(), block);
 }
 
 const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& name,
@@ -282,6 +324,7 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
   SPECKLE_CHECK(cfg.grid_blocks >= 1, "kernel launched with an empty grid");
   memory_.begin_kernel();
   ensure_executor();
+  if (san_ != nullptr) san_->begin_launch(name, cfg.racy_visibility);
 
   const std::uint32_t occupancy = occupancy_blocks_per_sm(config_, cfg);
   const std::uint32_t blocks_per_wave = occupancy * config_.num_sms;
@@ -317,8 +360,9 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
         execute_block(cfg, phases, wave_begin + bi, warps_per_block,
                       *arenas_.front(), /*speculative=*/false, works_[bi],
                       nullptr);
+        if (san_ != nullptr) san_->commit_block(arenas_.front()->san_log);
         flush_scan_pushes(config_, cfg, arenas_.front()->bstate.pushes,
-                          works_[bi]);
+                          works_[bi], san_.get(), wave_begin + bi);
       }
     } else {
       // Execute/commit in *chunks of one block per SM*: a chunk's blocks
@@ -357,6 +401,8 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
     }
     t = engine_.run_wave(per_sm, t, stats, pool_.get());
   }
+
+  if (san_ != nullptr) san_->end_launch();
 
   stats.cycles =
       static_cast<std::uint64_t>(t) + config_.us_to_cycles(config_.kernel_launch_us);

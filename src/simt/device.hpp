@@ -26,6 +26,7 @@
 #include "simt/buffer.hpp"
 #include "simt/config.hpp"
 #include "simt/memory.hpp"
+#include "simt/san.hpp"
 #include "simt/stats.hpp"
 #include "simt/thread.hpp"
 #include "simt/timing.hpp"
@@ -46,11 +47,14 @@ class Device {
   const DeviceConfig& config() const { return config_; }
 
   /// Allocate a typed device buffer (256-byte aligned address range).
+  /// `name` labels the buffer in sanitizer findings; unnamed buffers get a
+  /// synthesized "buf@0x<base>" label.
   template <typename T>
-  Buffer<T> alloc(std::size_t count) {
+  Buffer<T> alloc(std::size_t count, std::string name = {}) {
     const std::uint64_t bytes = count * sizeof(T);
     const std::uint64_t base = allocate_range(bytes);
-    return Buffer<T>(base, count);
+    if (san_ != nullptr) san_->on_alloc(base, bytes, std::move(name));
+    return Buffer<T>(base, count, san_.get());
   }
 
   /// Launch a barrier-free kernel over grid_blocks x block_threads threads.
@@ -84,6 +88,15 @@ class Device {
 
   MemorySystem& memory() { return memory_; }
 
+  /// Non-null iff DeviceConfig::sanitize was set.
+  san::Sanitizer* sanitizer() { return san_.get(); }
+  bool sanitizing() const { return san_ != nullptr; }
+  /// The accumulated sanitizer findings (empty report when sanitizing is
+  /// off). Findings accumulate across launches until the device dies.
+  san::Report san_report() const {
+    return san_ != nullptr ? san_->report() : san::Report{};
+  }
+
  private:
   friend class Thread;
 
@@ -109,6 +122,7 @@ class Device {
   MemorySystem memory_;
   TimingEngine engine_;
   DeviceReport report_;
+  std::unique_ptr<san::Sanitizer> san_;  ///< null unless config_.sanitize
   std::uint64_t next_addr_ = 0x1000;
 
   // Parallel wave executor state (lazily built on the first launch).

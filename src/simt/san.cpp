@@ -1,0 +1,360 @@
+#include "simt/san.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace speckle::san {
+namespace {
+
+/// Findings kept per report; occurrences past the cap still count in
+/// Finding::count / Report::total, so nothing is silently dropped.
+constexpr std::size_t kMaxFindings = 256;
+
+std::uint64_t word_align(std::uint64_t addr) { return addr & ~std::uint64_t{3}; }
+
+std::uint32_t words_covered(std::uint64_t addr, std::uint8_t size) {
+  const std::uint64_t first = word_align(addr);
+  const std::uint64_t last = word_align(addr + size - 1);
+  return static_cast<std::uint32_t>((last - first) / 4 + 1);
+}
+
+/// Record `block` into a two-slot distinct-block set.
+void note_block(std::uint32_t (&slots)[2], std::uint32_t block) {
+  if (slots[0] == block || slots[1] == block) return;
+  if (slots[0] == Finding::kNoBlock) {
+    slots[0] = block;
+  } else if (slots[1] == Finding::kNoBlock) {
+    slots[1] = block;
+  }
+}
+
+/// A block in `slots` other than `not_this` (kNoBlock if none).
+std::uint32_t other_than(const std::uint32_t (&slots)[2], std::uint32_t not_this) {
+  if (slots[0] != Finding::kNoBlock && slots[0] != not_this) return slots[0];
+  if (slots[1] != Finding::kNoBlock && slots[1] != not_this) return slots[1];
+  return Finding::kNoBlock;
+}
+
+}  // namespace
+
+const char* access_kind_name(AccessKind k) {
+  switch (k) {
+    case AccessKind::kLoad: return "ld";
+    case AccessKind::kLdg: return "ldg";
+    case AccessKind::kStore: return "st";
+    case AccessKind::kStoreRacy: return "st_racy";
+    case AccessKind::kAtomic: return "atomic";
+  }
+  return "?";
+}
+
+const char* finding_kind_name(FindingKind k) {
+  switch (k) {
+    case FindingKind::kOutOfBounds: return "out-of-bounds";
+    case FindingKind::kUninitLoad: return "uninitialized-load";
+    case FindingKind::kRace: return "cross-block-race";
+    case FindingKind::kLdgDirty: return "ldg-dirty-line";
+    case FindingKind::kWorklistOverflow: return "worklist-overflow";
+    case FindingKind::kWorklistAlias: return "worklist-aliasing";
+    case FindingKind::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t Report::count(FindingKind kind) const {
+  std::uint64_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.kind == kind) n += f.count;
+  }
+  return n;
+}
+
+std::string Report::format() const {
+  std::ostringstream out;
+  if (clean()) {
+    out << "speckle-san: 0 findings\n";
+    return out.str();
+  }
+  for (const Finding& f : findings) {
+    out << "speckle-san: " << finding_kind_name(f.kind) << ": " << f.buffer
+        << " (" << access_kind_name(f.access) << " of 0x" << std::hex << f.addr
+        << std::dec << ") in kernel '" << f.kernel << "' block " << f.block
+        << " thread " << f.thread;
+    if (f.other_block != Finding::kNoBlock) {
+      out << " vs block " << f.other_block;
+    }
+    if (f.count > 1) out << " (x" << f.count << ")";
+    out << "\n";
+  }
+  out << "speckle-san: " << total << " finding" << (total == 1 ? "" : "s") << " in "
+      << findings.size() << " site" << (findings.size() == 1 ? "" : "s") << "\n";
+  return out.str();
+}
+
+void Sanitizer::on_alloc(std::uint64_t base, std::uint64_t bytes, std::string name) {
+  BufferInfo info;
+  info.base = base;
+  info.bytes = bytes;
+  info.name = std::move(name);
+  if (info.name.empty()) {
+    std::ostringstream synth;
+    synth << "buf@0x" << std::hex << base;
+    info.name = synth.str();
+  }
+  info.defined.assign((bytes + 3) / 4, false);
+  // Allocations are monotonically increasing in the device address space;
+  // keep the registry sorted for binary search either way.
+  const auto it = std::lower_bound(
+      buffers_.begin(), buffers_.end(), base,
+      [](const BufferInfo& b, std::uint64_t addr) { return b.base < addr; });
+  buffers_.insert(it, std::move(info));
+}
+
+Sanitizer::BufferInfo* Sanitizer::find_buffer(std::uint64_t addr) {
+  auto it = std::upper_bound(
+      buffers_.begin(), buffers_.end(), addr,
+      [](std::uint64_t a, const BufferInfo& b) { return a < b.base; });
+  if (it == buffers_.begin()) return nullptr;
+  --it;
+  return it->base <= addr && addr < it->base + it->bytes ? &*it : nullptr;
+}
+
+std::string Sanitizer::buffer_name(std::uint64_t base) const {
+  for (const BufferInfo& b : buffers_) {
+    if (b.base == base) return b.name;
+  }
+  return "?";
+}
+
+void Sanitizer::on_host_write(std::uint64_t addr, std::uint64_t bytes) {
+  if (in_launch_) return;
+  mark_range(addr, bytes);
+}
+
+void Sanitizer::on_commit_write(std::uint64_t addr, std::uint64_t bytes) {
+  mark_range(addr, bytes);
+}
+
+void Sanitizer::mark_range(std::uint64_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  BufferInfo* info = find_buffer(addr);
+  if (info == nullptr) return;
+  const std::uint64_t first = (addr - info->base) / 4;
+  const std::uint64_t last =
+      std::min<std::uint64_t>((addr + bytes - 1 - info->base) / 4,
+                              info->defined.size() - 1);
+  for (std::uint64_t w = first; w <= last; ++w) info->defined[w] = true;
+}
+
+void Sanitizer::mark_defined(BufferInfo* info, std::uint64_t addr,
+                             std::uint8_t size) {
+  if (info == nullptr) return;
+  const std::uint64_t first = (addr - info->base) / 4;
+  const std::uint32_t n = words_covered(addr, size);
+  for (std::uint32_t i = 0; i < n && first + i < info->defined.size(); ++i) {
+    info->defined[first + i] = true;
+  }
+}
+
+bool Sanitizer::is_defined(BufferInfo* info, std::uint64_t addr,
+                           std::uint8_t size) const {
+  if (info == nullptr) return true;  // unregistered: nothing to check against
+  const std::uint64_t first = (addr - info->base) / 4;
+  const std::uint32_t n = words_covered(addr, size);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (first + i >= info->defined.size() || !info->defined[first + i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Sanitizer::begin_launch(const std::string& kernel, bool racy_visibility) {
+  kernel_ = kernel;
+  racy_visibility_ = racy_visibility;
+  in_launch_ = true;
+  words_.clear();
+  word_order_.clear();
+  dirty_lines_.clear();
+  ldg_lines_.clear();
+  line_seen_.clear();
+  read_bases_.clear();
+  push_sites_.clear();
+}
+
+Sanitizer::WordState& Sanitizer::word_state(std::uint64_t word_addr,
+                                            std::uint64_t buf_base) {
+  auto [it, inserted] = words_.try_emplace(word_addr);
+  if (inserted) {
+    it->second.buf_base = buf_base;
+    word_order_.push_back(word_addr);
+  }
+  return it->second;
+}
+
+bool Sanitizer::contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+void Sanitizer::add_finding(FindingKind kind, AccessKind access,
+                            std::uint64_t buf_base, std::uint64_t addr,
+                            std::uint32_t block, std::uint32_t thread,
+                            std::uint32_t other_block) {
+  ++report_.total;
+  Finding f;
+  f.kind = kind;
+  f.access = access;
+  f.kernel = kernel_;
+  f.buffer = buffer_name(buf_base);
+  f.addr = addr;
+  f.block = block;
+  f.thread = thread;
+  f.other_block = other_block;
+  for (Finding& existing : report_.findings) {
+    if (existing.same_site(f)) {
+      ++existing.count;
+      return;
+    }
+  }
+  if (report_.findings.size() < kMaxFindings) {
+    report_.findings.push_back(std::move(f));
+  }
+}
+
+void Sanitizer::commit_block(const BlockLog& log) {
+  const std::uint32_t block = log.block();
+  for (const Access& a : log.accesses()) {
+    if (!a.in_bounds) {
+      add_finding(FindingKind::kOutOfBounds, a.kind, a.buf_base, a.addr, block,
+                  a.thread);
+      continue;  // the access was suppressed; no shadow updates
+    }
+    BufferInfo* info = find_buffer(a.addr);
+    const std::uint64_t word = word_align(a.addr);
+    const std::uint64_t line = a.addr / line_bytes_ * line_bytes_;
+    WordState& ws = word_state(word, a.buf_base);
+    switch (a.kind) {
+      case AccessKind::kLoad:
+      case AccessKind::kLdg:
+        if (!is_defined(info, a.addr, a.size)) {
+          add_finding(FindingKind::kUninitLoad, a.kind, a.buf_base, a.addr, block,
+                      a.thread);
+        }
+        note_block(ws.reader, block);
+        if (!contains(read_bases_, a.buf_base)) read_bases_.push_back(a.buf_base);
+        if (a.kind == AccessKind::kLdg) {
+          std::uint8_t& seen = line_seen_[line];
+          if ((seen & 2) == 0) {
+            seen |= 2;
+            ldg_lines_.push_back({line, a.buf_base, block, a.thread, a.kind});
+          }
+        }
+        break;
+      case AccessKind::kStore:
+      case AccessKind::kStoreRacy:
+      case AccessKind::kAtomic: {
+        if (a.kind == AccessKind::kAtomic) {
+          // Value-returning atomics read the pre-value; an RMW on a word
+          // nothing ever initialised is a read of garbage.
+          if (!is_defined(info, a.addr, a.size)) {
+            add_finding(FindingKind::kUninitLoad, a.kind, a.buf_base, a.addr,
+                        block, a.thread);
+          }
+          note_block(ws.atomic, block);
+        } else if (a.kind == AccessKind::kStoreRacy) {
+          ws.racy_write = true;
+        } else {
+          if (ws.writer[0] == Finding::kNoBlock) ws.writer_thread = a.thread;
+          note_block(ws.writer, block);
+        }
+        mark_defined(info, a.addr, a.size);
+        std::uint8_t& seen = line_seen_[line];
+        if ((seen & 1) == 0) {
+          seen |= 1;
+          dirty_lines_.push_back({line, a.buf_base, block, a.thread, a.kind});
+        }
+        break;
+      }
+    }
+  }
+  for (const BlockLog::PushTarget& target : log.push_targets()) {
+    bool seen = false;
+    for (const PushSite& site : push_sites_) {
+      seen |= site.target.items_base == target.items_base;
+    }
+    if (!seen) push_sites_.push_back({target, block});
+  }
+}
+
+void Sanitizer::on_worklist_overflow(std::uint64_t items_base, std::uint32_t block,
+                                     std::uint64_t attempted,
+                                     std::uint64_t capacity) {
+  (void)attempted;
+  (void)capacity;
+  add_finding(FindingKind::kWorklistOverflow, AccessKind::kStore, items_base,
+              items_base, block, 0);
+}
+
+void Sanitizer::end_launch() {
+  // Cross-block race scan: a word is racy when one block plain-writes it and
+  // a *different* block reads, writes, or atomically updates it — unless the
+  // launch declared racy visibility or some write went through st_racy (the
+  // declared speculation channel). Atomic/atomic pairs synchronize at the
+  // atomic unit and are exempt; atomic/read and atomic/plain-write are not.
+  if (!racy_visibility_) {
+    for (const std::uint64_t word : word_order_) {
+      const WordState& ws = words_.at(word);
+      if (ws.racy_write) continue;
+      const std::uint32_t writer = ws.writer[0];
+      if (writer != Finding::kNoBlock) {
+        std::uint32_t other = other_than(ws.writer, writer);
+        if (other == Finding::kNoBlock) other = other_than(ws.reader, writer);
+        if (other == Finding::kNoBlock) other = other_than(ws.atomic, writer);
+        if (other != Finding::kNoBlock) {
+          add_finding(FindingKind::kRace, AccessKind::kStore, ws.buf_base, word,
+                      writer, ws.writer_thread, other);
+          continue;
+        }
+      }
+      if (ws.atomic[0] != Finding::kNoBlock) {
+        const std::uint32_t other = other_than(ws.reader, ws.atomic[0]);
+        if (other != Finding::kNoBlock) {
+          add_finding(FindingKind::kRace, AccessKind::kAtomic, ws.buf_base, word,
+                      ws.atomic[0], 0, other);
+        }
+      }
+    }
+  }
+
+  // RO-cache coherence: a line both ldg-read and written in this kernel
+  // violates the __ldg contract whatever the order — the read-only cache is
+  // not coherent with stores within a kernel.
+  for (const LineSite& ldg : ldg_lines_) {
+    const auto seen = line_seen_.find(ldg.line);
+    if (seen == line_seen_.end() || (seen->second & 1) == 0) continue;
+    for (const LineSite& dirty : dirty_lines_) {
+      if (ldg.line == dirty.line) {
+        add_finding(FindingKind::kLdgDirty, AccessKind::kLdg, ldg.buf_base,
+                    ldg.line, ldg.block, ldg.thread, dirty.block);
+        break;
+      }
+    }
+  }
+
+  // Double-buffer aliasing: a kernel that pushes into a worklist must not
+  // also read that worklist's items or tail (W_in handed in as W_out).
+  for (const PushSite& site : push_sites_) {
+    if (contains(read_bases_, site.target.items_base) ||
+        contains(read_bases_, site.target.tail_base)) {
+      add_finding(FindingKind::kWorklistAlias, AccessKind::kStore,
+                  site.target.items_base, site.target.items_base, site.block, 0);
+    }
+  }
+
+  kernel_.clear();
+  in_launch_ = false;
+}
+
+}  // namespace speckle::san

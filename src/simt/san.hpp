@@ -1,0 +1,269 @@
+#pragma once
+/// \file san.hpp
+/// speckle::san — an in-simulator device-memory sanitizer (the simulator's
+/// analogue of `cuda-memcheck` + `racecheck`, but deterministic).
+///
+/// Every device access already flows through `Thread`; with sanitizing
+/// enabled (DeviceConfig::sanitize) each block additionally appends its
+/// accesses to a per-block log while it executes (concurrently, on the wave
+/// executor's pool), and the logs are folded into the sanitizer in the
+/// executor's serial commit phase, in ascending block order. Because the
+/// logs' contents and the fold order are both schedule-independent, every
+/// report is bit-identical at any `--threads=N` — a property no hardware
+/// race detector has.
+///
+/// Detector classes:
+///   * kOutOfBounds      — ld/ldg/st/atomic outside the buffer's extent
+///                         (the access is suppressed; loads return 0)
+///   * kUninitLoad       — read of a device word never written by host
+///                         init (fill/copy_from/host writes) or a kernel
+///   * kRace             — cross-block write/write or read/write on a word
+///                         not declared racy: neither written via st_racy
+///                         nor part of a racy_visibility launch; atomics
+///                         synchronize and are exempt among themselves
+///   * kLdgDirty         — __ldg read of a 128-byte line some thread also
+///                         wrote in the same kernel (RO-cache coherence —
+///                         the __ldg contract forbids it)
+///   * kWorklistOverflow — a block-cooperative scan_push past the
+///                         worklist's capacity (the push is clamped)
+///   * kWorklistAlias    — a kernel pushes into a worklist whose item or
+///                         tail buffer it also reads (double-buffer
+///                         aliasing, e.g. W_in used as W_out)
+///
+/// Findings are deduplicated per (kind, kernel, buffer) with an occurrence
+/// count; the first occurrence's address and block/warp/lane are kept.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace speckle::san {
+
+/// How a kernel touched a word (finer than trace.hpp's OpKind: the racy
+/// store and the RO-cache load path matter to the detectors).
+enum class AccessKind : std::uint8_t {
+  kLoad = 0,   ///< Thread::ld
+  kLdg,        ///< Thread::ldg (read-only cache path)
+  kStore,      ///< Thread::st
+  kStoreRacy,  ///< Thread::st_racy (declared-racy speculation)
+  kAtomic,     ///< any Thread::atomic_*
+};
+
+const char* access_kind_name(AccessKind k);
+
+enum class FindingKind : std::uint8_t {
+  kOutOfBounds = 0,
+  kUninitLoad,
+  kRace,
+  kLdgDirty,
+  kWorklistOverflow,
+  kWorklistAlias,
+  kCount
+};
+
+const char* finding_kind_name(FindingKind k);
+
+/// One deduplicated defect. `block`/`thread` locate the first occurrence;
+/// for races `other_block` is the conflicting writer's block.
+struct Finding {
+  FindingKind kind = FindingKind::kOutOfBounds;
+  AccessKind access = AccessKind::kLoad;
+  std::string kernel;
+  std::string buffer;
+  std::uint64_t addr = 0;
+  std::uint32_t block = 0;
+  std::uint32_t thread = 0;               ///< thread-in-block
+  std::uint32_t other_block = kNoBlock;   ///< race partner, else kNoBlock
+  std::uint64_t count = 1;                ///< occurrences folded into this
+
+  static constexpr std::uint32_t kNoBlock = 0xffffffffU;
+
+  bool same_site(const Finding& o) const {
+    return kind == o.kind && access == o.access && kernel == o.kernel &&
+           buffer == o.buffer;
+  }
+  bool operator==(const Finding& o) const = default;
+};
+
+struct Report {
+  std::vector<Finding> findings;  ///< deduped, in first-occurrence order
+  std::uint64_t total = 0;        ///< occurrences before dedup
+
+  bool clean() const { return findings.empty(); }
+  std::uint64_t count(FindingKind kind) const;
+  /// Human-readable multi-line rendering (one line per finding + summary).
+  std::string format() const;
+  bool operator==(const Report& o) const = default;
+};
+
+/// One device access as a block recorded it. `buf_base` identifies the
+/// buffer exactly (addr alone could fall into a neighbour's range when the
+/// index is wild), `in_bounds` is the authoritative extent check made at
+/// the call site.
+struct Access {
+  std::uint64_t addr = 0;
+  std::uint64_t buf_base = 0;
+  std::uint32_t thread = 0;
+  AccessKind kind = AccessKind::kLoad;
+  std::uint8_t size = 0;
+  bool in_bounds = true;
+};
+
+/// The per-block access log. One lives in each executor arena; it records
+/// concurrently with other blocks' logs (never shared) and is folded into
+/// the Sanitizer serially at the block's commit slot.
+class BlockLog {
+ public:
+  void reset(std::uint32_t block) {
+    block_ = block;
+    accesses_.clear();
+    push_targets_.clear();
+  }
+
+  /// Record one access; returns `in_bounds` so call sites can suppress the
+  /// functional effect of a wild access in the same expression.
+  bool note(AccessKind kind, std::uint64_t buf_base, std::uint64_t addr,
+            std::uint8_t size, bool in_bounds, std::uint32_t thread) {
+    accesses_.push_back({addr, buf_base, thread, kind, size, in_bounds});
+    return in_bounds;
+  }
+
+  /// Record a scan_push destination (items and tail buffer bases) for the
+  /// double-buffer aliasing check. Deduplicated — a kernel pushes to one or
+  /// two worklists, so the linear scan is effectively free.
+  void note_push_target(std::uint64_t items_base, std::uint64_t tail_base) {
+    for (const PushTarget& t : push_targets_) {
+      if (t.items_base == items_base) return;
+    }
+    push_targets_.push_back({items_base, tail_base});
+  }
+
+  std::uint32_t block() const { return block_; }
+  const std::vector<Access>& accesses() const { return accesses_; }
+  struct PushTarget {
+    std::uint64_t items_base;
+    std::uint64_t tail_base;
+  };
+  const std::vector<PushTarget>& push_targets() const { return push_targets_; }
+
+ private:
+  std::uint32_t block_ = 0;
+  std::vector<Access> accesses_;
+  std::vector<PushTarget> push_targets_;
+};
+
+/// The device-wide sanitizer: buffer registry with definedness shadow,
+/// per-launch access aggregation, and the findings report. All methods
+/// except BlockLog recording run on the host's serial paths (alloc, launch
+/// boundaries, the commit phase), so no synchronization is needed anywhere.
+class Sanitizer {
+ public:
+  /// `line_bytes` is the RO-cache/L2 line size (the granularity of the
+  /// kLdgDirty detector).
+  explicit Sanitizer(std::uint32_t line_bytes) : line_bytes_(line_bytes) {}
+
+  /// Register a device allocation. `name` appears in findings.
+  void on_alloc(std::uint64_t base, std::uint64_t bytes, std::string name);
+
+  /// Host-side write (Buffer fill/copy_from/operator[]/host()): marks the
+  /// words defined. Conservative: a host *read* through a non-const path
+  /// also marks, which can only suppress findings, never invent them.
+  /// Ignored between begin_launch and end_launch — device execution reaches
+  /// Buffer::operator[] from pool threads (overlay puts take &buf[i]), and
+  /// definedness from device stores is instead derived serially from the
+  /// access logs at commit.
+  void on_host_write(std::uint64_t addr, std::uint64_t bytes);
+
+  /// A runtime write made on the serial commit path during a launch
+  /// (worklist compaction landing pushed items): marks the words defined
+  /// even while host-write hooks are suppressed.
+  void on_commit_write(std::uint64_t addr, std::uint64_t bytes);
+
+  /// Launch boundaries. Launch-wide state (the per-word conflict map and
+  /// the dirtied/ldg-read line sets) resets at begin; conflicts are
+  /// reported at end.
+  void begin_launch(const std::string& kernel, bool racy_visibility);
+  void end_launch();
+
+  /// Fold one block's log, in ascending block order (the executor's commit
+  /// order). Performs the OOB/uninit checks and accumulates race state.
+  void commit_block(const BlockLog& log);
+
+  /// A scan_push compaction would overflow `items_base`'s capacity; the
+  /// runtime clamps and reports.
+  void on_worklist_overflow(std::uint64_t items_base, std::uint32_t block,
+                            std::uint64_t attempted, std::uint64_t capacity);
+
+  const Report& report() const { return report_; }
+
+  /// Name of the buffer whose registered base is `base` ("?" if unknown).
+  std::string buffer_name(std::uint64_t base) const;
+
+ private:
+  struct BufferInfo {
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+    std::string name;
+    std::vector<bool> defined;  ///< one bit per 4-byte word
+  };
+
+  /// Per-word launch-wide conflict state (race + declared-racy tracking).
+  /// First/second slots hold *distinct* block ids, so "some other block
+  /// also touched this" is decidable even when the first toucher is the
+  /// writer itself.
+  struct WordState {
+    std::uint32_t writer[2] = {Finding::kNoBlock, Finding::kNoBlock};  ///< st
+    std::uint32_t reader[2] = {Finding::kNoBlock, Finding::kNoBlock};  ///< ld/ldg
+    std::uint32_t atomic[2] = {Finding::kNoBlock, Finding::kNoBlock};
+    std::uint32_t writer_thread = 0;  ///< thread of writer[0]
+    std::uint64_t buf_base = 0;
+    bool racy_write = false;  ///< some write was st_racy → declared
+  };
+
+  BufferInfo* find_buffer(std::uint64_t addr);
+  void mark_defined(BufferInfo* info, std::uint64_t addr, std::uint8_t size);
+  bool is_defined(BufferInfo* info, std::uint64_t addr, std::uint8_t size) const;
+  void add_finding(FindingKind kind, AccessKind access, std::uint64_t buf_base,
+                   std::uint64_t addr, std::uint32_t block, std::uint32_t thread,
+                   std::uint32_t other_block = Finding::kNoBlock);
+
+  std::vector<BufferInfo> buffers_;  ///< sorted by base
+  std::uint32_t line_bytes_ = 128;
+  Report report_;
+
+  void mark_range(std::uint64_t addr, std::uint64_t bytes);
+
+  // --- current-launch state ------------------------------------------------
+  std::string kernel_;
+  bool racy_visibility_ = false;
+  bool in_launch_ = false;  ///< suppresses host-write hooks (see above)
+  /// Word-granular conflict map; `word_order_` preserves first-touch order
+  /// so end-of-launch reporting is schedule-independent.
+  std::unordered_map<std::uint64_t, WordState> words_;
+  std::vector<std::uint64_t> word_order_;
+  /// Lines written this kernel / lines read via ldg this kernel, with the
+  /// first access site of each (for the RO-coherence report).
+  struct LineSite {
+    std::uint64_t line;
+    std::uint64_t buf_base;
+    std::uint32_t block;
+    std::uint32_t thread;
+    AccessKind kind;
+  };
+  std::vector<LineSite> dirty_lines_;
+  std::vector<LineSite> ldg_lines_;
+  std::unordered_map<std::uint64_t, std::uint8_t> line_seen_;  ///< bit0 dirty, bit1 ldg
+  /// Buffer bases read / pushed-to this launch (worklist aliasing).
+  std::vector<std::uint64_t> read_bases_;
+  struct PushSite {
+    BlockLog::PushTarget target;
+    std::uint32_t block;
+  };
+  std::vector<PushSite> push_sites_;
+
+  WordState& word_state(std::uint64_t word_addr, std::uint64_t buf_base);
+  static bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x);
+};
+
+}  // namespace speckle::san

@@ -71,6 +71,11 @@ struct BlockState {
   /// check it first so the block sees its own writes.
   WriteOverlay* overlay = nullptr;
 
+  /// Sanitizer access log: non-null when the device sanitizes. Appended to
+  /// during (possibly concurrent) block execution — it is private to the
+  /// block — and folded into the sanitizer at the serial commit slot.
+  san::BlockLog* san = nullptr;
+
   /// First value this block observed (from the chunk-start state) at each
   /// address it touched with a value-returning atomic. The commit phase
   /// validates these against the then-committed state; a mismatch means the
@@ -127,9 +132,13 @@ class Thread {
   }
 
   // --- global memory -------------------------------------------------------
+  /// When sanitizing, every access is appended to the block's log and an
+  /// out-of-extent access is suppressed (loads return T{}, stores drop) so
+  /// victim kernels report cleanly instead of corrupting host memory.
   template <typename T>
   T ld(const Buffer<T>& buf, std::size_t i) {
     trace_.memory(OpKind::kLoad, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    if (!san_ok(san::AccessKind::kLoad, buf, i)) return T{};
     return load_value(buf, i);
   }
 
@@ -139,12 +148,14 @@ class Thread {
   template <typename T>
   T ldg(const Buffer<T>& buf, std::size_t i) {
     trace_.memory(OpKind::kLoad, Space::kReadOnly, buf.addr_of(i), sizeof(T));
+    if (!san_ok(san::AccessKind::kLdg, buf, i)) return T{};
     return load_value(buf, i);
   }
 
   template <typename T>
   void st(Buffer<T>& buf, std::size_t i, T value) {
     trace_.memory(OpKind::kStore, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    if (!san_ok(san::AccessKind::kStore, buf, i)) return;
     store_value(buf, i, value);
   }
 
@@ -152,6 +163,7 @@ class Thread {
   template <typename T>
   T atomic_add(Buffer<T>& buf, std::size_t i, T delta) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    if (!san_ok(san::AccessKind::kAtomic, buf, i)) return T{};
     T old = atomic_load_value(buf, i);
     store_value(buf, i, static_cast<T>(old + delta));
     return old;
@@ -160,6 +172,7 @@ class Thread {
   template <typename T>
   T atomic_min(Buffer<T>& buf, std::size_t i, T value) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    if (!san_ok(san::AccessKind::kAtomic, buf, i)) return T{};
     T old = atomic_load_value(buf, i);
     if (value < old) store_value(buf, i, value);
     return old;
@@ -168,6 +181,7 @@ class Thread {
   template <typename T>
   T atomic_max(Buffer<T>& buf, std::size_t i, T value) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    if (!san_ok(san::AccessKind::kAtomic, buf, i)) return T{};
     T old = atomic_load_value(buf, i);
     if (value > old) store_value(buf, i, value);
     return old;
@@ -176,6 +190,7 @@ class Thread {
   template <typename T>
   T atomic_or(Buffer<T>& buf, std::size_t i, T value) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    if (!san_ok(san::AccessKind::kAtomic, buf, i)) return T{};
     T old = atomic_load_value(buf, i);
     store_value(buf, i, static_cast<T>(old | value));
     return old;
@@ -185,6 +200,7 @@ class Thread {
   template <typename T>
   T atomic_cas(Buffer<T>& buf, std::size_t i, T expected, T desired) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i), sizeof(T));
+    if (!san_ok(san::AccessKind::kAtomic, buf, i)) return T{};
     T old = atomic_load_value(buf, i);
     if (old == expected) store_value(buf, i, desired);
     return old;
@@ -200,6 +216,7 @@ class Thread {
                           std::uint32_t delta) {
     trace_.memory(OpKind::kAtomic, Space::kGlobal, buf.addr_of(i),
                   sizeof(std::uint32_t));
+    if (!san_ok(san::AccessKind::kAtomic, buf, i)) return;
     if (block_state_.overlay) {
       block_state_.discard_adds.push_back({&buf[i], delta});
     } else {
@@ -217,6 +234,7 @@ class Thread {
   void st_racy(Buffer<std::uint32_t>& buf, std::size_t i, std::uint32_t value) {
     trace_.memory(OpKind::kStore, Space::kGlobal, buf.addr_of(i),
                   sizeof(std::uint32_t));
+    if (!san_ok(san::AccessKind::kStoreRacy, buf, i)) return;
     block_state_.deferred.push_back({buf.addr_of(i), &buf[i], value});
   }
 
@@ -246,6 +264,19 @@ class Thread {
   void scan_push(Worklist& wl, std::uint32_t value);
 
  private:
+  /// Log the access in the block's sanitizer log (when sanitizing) and
+  /// report whether it is in bounds — call sites suppress the functional
+  /// effect of an out-of-extent access. With the sanitizer off this is the
+  /// plain extent assumption the simulator has always made (unchecked).
+  template <typename T>
+  bool san_ok(san::AccessKind kind, const Buffer<T>& buf, std::size_t i) {
+    san::BlockLog* log = block_state_.san;
+    if (log == nullptr) return true;
+    return log->note(kind, buf.base_addr(), buf.addr_of(i),
+                     static_cast<std::uint8_t>(sizeof(T)), i < buf.size(),
+                     thread_in_block_);
+  }
+
   template <typename T>
   static std::uint64_t to_raw(T value) {
     static_assert(sizeof(T) <= 8, "device values are at most 8 bytes");

@@ -23,8 +23,10 @@ namespace speckle::simt {
 class Worklist {
  public:
   /// `capacity` is the maximum item count a single generation can hold.
-  Worklist(Device& dev, std::size_t capacity)
-      : items_(dev.alloc<std::uint32_t>(capacity)), tail_(dev.alloc<std::uint32_t>(1)) {
+  /// `name` labels the underlying buffers in sanitizer findings.
+  Worklist(Device& dev, std::size_t capacity, std::string name = "worklist")
+      : items_(dev.alloc<std::uint32_t>(capacity, name + ".items")),
+        tail_(dev.alloc<std::uint32_t>(1, name + ".tail")) {
     tail_[0] = 0;
   }
 

@@ -41,7 +41,9 @@ TEST_P(FuzzBuilder, CsrInvariantsHold) {
     const auto adj = g.neighbors(v);
     for (std::size_t i = 0; i < adj.size(); ++i) {
       EXPECT_NE(adj[i], v);                       // no self loops
-      if (i > 0) EXPECT_LT(adj[i - 1], adj[i]);   // sorted, deduplicated
+      if (i > 0) {
+        EXPECT_LT(adj[i - 1], adj[i]);  // sorted, deduplicated
+      }
     }
   }
 }
@@ -75,7 +77,9 @@ TEST_P(FuzzSchemes, EverySchemeProperOnRandomGraph) {
     // run_scheme verifies internally and aborts on an improper result.
     const RunResult r = run_scheme(s, g, opts);
     EXPECT_EQ(r.coloring.size(), g.num_vertices()) << scheme_name(s);
-    if (g.num_edges() > 0) EXPECT_GE(r.num_colors, 2U) << scheme_name(s);
+    if (g.num_edges() > 0) {
+      EXPECT_GE(r.num_colors, 2U) << scheme_name(s);
+    }
   }
 }
 

@@ -65,36 +65,83 @@ TEST(MatrixMarket, IntegerFieldAccepted) {
   EXPECT_EQ(g.num_edges(), 2U);
 }
 
-TEST(MatrixMarketDeathTest, RejectsMissingBanner) {
-  std::stringstream in("3 3 0\n");
-  EXPECT_DEATH(read_matrix_market(in, "bad"), "banner");
+// Malformed input throws MatrixMarketError with a message that names the
+// file and the defect, so callers can report it instead of aborting.
+void expect_rejected(const std::string& text, const std::string& name,
+                     const std::string& needle) {
+  std::stringstream in(text);
+  try {
+    read_matrix_market(in, name);
+    FAIL() << "expected MatrixMarketError mentioning '" << needle << "'";
+  } catch (const MatrixMarketError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(name), std::string::npos) << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+  }
 }
 
-TEST(MatrixMarketDeathTest, RejectsNonSquare) {
-  std::stringstream in(
+TEST(MatrixMarketErrors, RejectsMissingBanner) {
+  expect_rejected("3 3 0\n", "bad", "banner");
+}
+
+TEST(MatrixMarketErrors, RejectsTruncatedHeader) {
+  expect_rejected("%%MatrixMarket matrix coordinate\n2 2 0\n", "short",
+                  "truncated banner");
+}
+
+TEST(MatrixMarketErrors, RejectsEmptyFile) {
+  expect_rejected("", "empty", "empty file");
+}
+
+TEST(MatrixMarketErrors, RejectsMissingSizeLine) {
+  expect_rejected(
       "%%MatrixMarket matrix coordinate pattern general\n"
-      "3 4 0\n");
-  EXPECT_DEATH(read_matrix_market(in, "rect"), "square");
+      "% only comments after the header\n",
+      "nosize", "missing size line");
 }
 
-TEST(MatrixMarketDeathTest, RejectsOutOfRangeIndex) {
-  std::stringstream in(
+TEST(MatrixMarketErrors, RejectsNonSquare) {
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 0\n",
+      "rect", "square");
+}
+
+TEST(MatrixMarketErrors, RejectsOverflowingEntryCount) {
+  // 3x3 holds at most 9 entries; a size line promising more is dishonest
+  // and must not drive allocation or parsing.
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 10\n",
+      "fat", "more than a 3x3 matrix can hold");
+}
+
+TEST(MatrixMarketErrors, RejectsOutOfRangeIndex) {
+  expect_rejected(
       "%%MatrixMarket matrix coordinate pattern general\n"
       "2 2 1\n"
-      "1 9\n");
-  EXPECT_DEATH(read_matrix_market(in, "oob"), "out of range");
+      "1 9\n",
+      "oob", "out of range");
 }
 
-TEST(MatrixMarketDeathTest, RejectsTruncatedFile) {
-  std::stringstream in(
+TEST(MatrixMarketErrors, RejectsTruncatedFile) {
+  expect_rejected(
       "%%MatrixMarket matrix coordinate pattern general\n"
       "2 2 3\n"
-      "1 2\n");
-  EXPECT_DEATH(read_matrix_market(in, "trunc"), "fewer entries");
+      "1 2\n",
+      "trunc", "fewer entries");
 }
 
-TEST(MatrixMarketDeathTest, RejectsUnknownFile) {
-  EXPECT_DEATH(read_matrix_market("/nonexistent/file.mtx"), "cannot open");
+TEST(MatrixMarketErrors, RejectsMalformedEntryLine) {
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "one two\n",
+      "garbled", "malformed entry");
+}
+
+TEST(MatrixMarketErrors, RejectsUnknownFile) {
+  EXPECT_THROW(read_matrix_market("/nonexistent/file.mtx"), MatrixMarketError);
 }
 
 }  // namespace

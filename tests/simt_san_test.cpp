@@ -1,0 +1,362 @@
+// Tests for speckle::san, the in-simulator device-memory sanitizer.
+//
+// One victim kernel per detector class proves each detector fires (and
+// names the right buffer); the exemption tests prove the declared-racy
+// channels (st_racy, racy_visibility) stay silent; the clean-run tests
+// prove every paper scheme is sanitizer-clean and that reports are
+// bit-identical at --threads=1 and --threads=4.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "coloring/runner.hpp"
+#include "graph/suite.hpp"
+#include "simt/device.hpp"
+#include "simt/san.hpp"
+#include "simt/worklist.hpp"
+
+namespace {
+
+using namespace speckle;
+
+simt::DeviceConfig sanitizing_config(std::uint32_t host_threads = 1) {
+  simt::DeviceConfig cfg = simt::DeviceConfig::k20c();
+  cfg.sanitize = true;
+  cfg.host_threads = host_threads;
+  return cfg;
+}
+
+std::uint64_t count_kind(const san::Report& report, san::FindingKind kind) {
+  return report.count(kind);
+}
+
+// --- out-of-bounds ---------------------------------------------------------
+
+TEST(SanOutOfBounds, StorePastExtentFiresAndIsSuppressed) {
+  simt::Device dev(sanitizing_config());
+  auto buf = dev.alloc<std::uint32_t>(8, "victim");
+  buf.fill(7);
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "oob_store",
+             [&](simt::Thread& t) { t.st(buf, t.thread_in_block(), 1u); });
+  const san::Report report = dev.san_report();
+  EXPECT_EQ(count_kind(report, san::FindingKind::kOutOfBounds), 24u);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].buffer, "victim");
+  EXPECT_EQ(report.findings[0].kernel, "oob_store");
+  EXPECT_EQ(report.findings[0].access, san::AccessKind::kStore);
+  // The wild stores were dropped; the in-range ones landed.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(buf[i], 1u);
+}
+
+TEST(SanOutOfBounds, LoadAndAtomicPastExtentFire) {
+  simt::Device dev(sanitizing_config());
+  auto buf = dev.alloc<std::uint32_t>(4, "victim");
+  buf.fill(0);
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "oob_mixed",
+             [&](simt::Thread& t) {
+               // A wild load returns 0 instead of touching a neighbour.
+               EXPECT_EQ(t.ld(buf, 100), 0u);
+               t.atomic_add(buf, 200, 1u);
+             });
+  const san::Report report = dev.san_report();
+  EXPECT_EQ(count_kind(report, san::FindingKind::kOutOfBounds), 64u);
+  EXPECT_EQ(report.findings.size(), 2u);  // one ld site + one atomic site
+}
+
+// --- uninitialized loads ---------------------------------------------------
+
+TEST(SanUninit, ReadOfNeverWrittenWordFires) {
+  simt::Device dev(sanitizing_config());
+  auto buf = dev.alloc<std::uint32_t>(64, "cold");
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "uninit_read",
+             [&](simt::Thread& t) { (void)t.ld(buf, t.thread_in_block()); });
+  const san::Report report = dev.san_report();
+  EXPECT_EQ(count_kind(report, san::FindingKind::kUninitLoad), 32u);
+  ASSERT_GE(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].buffer, "cold");
+}
+
+TEST(SanUninit, AtomicRmwOnNeverWrittenWordFires) {
+  simt::Device dev(sanitizing_config());
+  auto buf = dev.alloc<std::uint32_t>(4, "cold");
+  dev.launch({.grid_blocks = 1, .block_threads = 1}, "uninit_rmw",
+             [&](simt::Thread& t) { t.atomic_add(buf, 0, 1u); });
+  EXPECT_EQ(count_kind(dev.san_report(), san::FindingKind::kUninitLoad), 1u);
+}
+
+TEST(SanUninit, HostInitializationSuppresses) {
+  simt::Device dev(sanitizing_config());
+  auto filled = dev.alloc<std::uint32_t>(64, "filled");
+  auto poked = dev.alloc<std::uint32_t>(4, "poked");
+  filled.fill(3);
+  poked[2] = 9;  // single-element host write defines only word 2
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "init_read",
+             [&](simt::Thread& t) {
+               (void)t.ld(filled, t.thread_in_block());
+               (void)t.ld(poked, 2);
+             });
+  EXPECT_TRUE(dev.san_report().clean());
+  // ...and a device store defines the word for a later launch's load.
+  dev.launch({.grid_blocks = 1, .block_threads = 1}, "dev_write",
+             [&](simt::Thread& t) { t.st(poked, 0, 1u); });
+  dev.launch({.grid_blocks = 1, .block_threads = 1}, "dev_read",
+             [&](simt::Thread& t) { (void)t.ld(poked, 0); });
+  EXPECT_TRUE(dev.san_report().clean());
+}
+
+// --- cross-block races -----------------------------------------------------
+
+TEST(SanRace, CrossBlockWriteWriteFires) {
+  simt::Device dev(sanitizing_config());
+  auto x = dev.alloc<std::uint32_t>(1, "x");
+  x.fill(0);
+  dev.launch({.grid_blocks = 2, .block_threads = 32}, "ww_race",
+             [&](simt::Thread& t) {
+               t.st(x, 0, static_cast<std::uint32_t>(t.global_id()));
+             });
+  const san::Report report = dev.san_report();
+  EXPECT_EQ(count_kind(report, san::FindingKind::kRace), 1u);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].buffer, "x");
+  EXPECT_NE(report.findings[0].other_block, san::Finding::kNoBlock);
+}
+
+TEST(SanRace, CrossBlockReadWriteFires) {
+  simt::Device dev(sanitizing_config());
+  auto y = dev.alloc<std::uint32_t>(1, "y");
+  y.fill(0);
+  dev.launch({.grid_blocks = 2, .block_threads = 32}, "rw_race",
+             [&](simt::Thread& t) {
+               if (t.block() == 0) {
+                 t.st(y, 0, 1u);
+               } else {
+                 (void)t.ld(y, 0);
+               }
+             });
+  EXPECT_EQ(count_kind(dev.san_report(), san::FindingKind::kRace), 1u);
+}
+
+TEST(SanRace, AtomicReadRaceFires) {
+  // One block updates a word atomically, another plain-reads it: the reader
+  // is unsynchronized against the RMW.
+  simt::Device dev(sanitizing_config());
+  auto z = dev.alloc<std::uint32_t>(1, "z");
+  z.fill(0);
+  dev.launch({.grid_blocks = 2, .block_threads = 32}, "atomic_read_race",
+             [&](simt::Thread& t) {
+               if (t.block() == 0) {
+                 t.atomic_add(z, 0, 1u);
+               } else {
+                 (void)t.ld(z, 0);
+               }
+             });
+  EXPECT_EQ(count_kind(dev.san_report(), san::FindingKind::kRace), 1u);
+}
+
+TEST(SanRace, AtomicsAreExemptAmongThemselves) {
+  simt::Device dev(sanitizing_config());
+  auto z = dev.alloc<std::uint32_t>(1, "z");
+  z.fill(0);
+  dev.launch({.grid_blocks = 4, .block_threads = 32}, "atomic_only",
+             [&](simt::Thread& t) { t.atomic_add(z, 0, 1u); });
+  EXPECT_TRUE(dev.san_report().clean());
+  EXPECT_EQ(z[0], 128u);
+}
+
+TEST(SanRace, StRacyDeclaresTheRace) {
+  // The speculative-coloring idiom: cross-block writes through st_racy are
+  // a declared benign race and must stay silent.
+  simt::Device dev(sanitizing_config());
+  auto colors = dev.alloc<std::uint32_t>(1, "colors");
+  colors.fill(0);
+  dev.launch({.grid_blocks = 2, .block_threads = 32}, "declared_racy",
+             [&](simt::Thread& t) {
+               t.st_racy(colors, 0, static_cast<std::uint32_t>(t.global_id()));
+             });
+  EXPECT_TRUE(dev.san_report().clean());
+}
+
+TEST(SanRace, RacyVisibilityLaunchIsExempt) {
+  simt::Device dev(sanitizing_config());
+  auto x = dev.alloc<std::uint32_t>(1, "x");
+  x.fill(0);
+  simt::LaunchConfig cfg{.grid_blocks = 2, .block_threads = 32};
+  cfg.racy_visibility = true;
+  dev.launch(cfg, "racy_launch", [&](simt::Thread& t) {
+    t.st(x, 0, static_cast<std::uint32_t>(t.global_id()));
+  });
+  EXPECT_TRUE(dev.san_report().clean());
+}
+
+TEST(SanRace, DistinctWordsPerBlockAreClean) {
+  simt::Device dev(sanitizing_config());
+  auto out = dev.alloc<std::uint32_t>(256, "out");
+  dev.launch({.grid_blocks = 8, .block_threads = 32}, "disjoint",
+             [&](simt::Thread& t) {
+               t.st(out, t.global_id(), static_cast<std::uint32_t>(t.global_id()));
+             });
+  EXPECT_TRUE(dev.san_report().clean());
+}
+
+// --- __ldg coherence -------------------------------------------------------
+
+TEST(SanLdg, ReadOfLineDirtiedInSameKernelFires) {
+  simt::Device dev(sanitizing_config());
+  auto buf = dev.alloc<std::uint32_t>(8, "ro");
+  buf.fill(0);
+  dev.launch({.grid_blocks = 1, .block_threads = 1}, "ldg_dirty",
+             [&](simt::Thread& t) {
+               t.st(buf, 0, 1u);
+               (void)t.ldg(buf, 1);  // words 0 and 1 share the 128B line
+             });
+  const san::Report report = dev.san_report();
+  EXPECT_EQ(count_kind(report, san::FindingKind::kLdgDirty), 1u);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].buffer, "ro");
+}
+
+TEST(SanLdg, CleanWhenKernelOnlyReads) {
+  simt::Device dev(sanitizing_config());
+  auto ro = dev.alloc<std::uint32_t>(8, "ro");
+  auto out = dev.alloc<std::uint32_t>(32, "out");
+  ro.fill(5);
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "ldg_clean",
+             [&](simt::Thread& t) {
+               // Writes land in a different buffer (and thus a different
+               // line — allocations are 256-byte padded).
+               t.st(out, t.thread_in_block(), t.ldg(ro, t.thread_in_block() % 8));
+             });
+  EXPECT_TRUE(dev.san_report().clean());
+}
+
+// --- worklists -------------------------------------------------------------
+
+TEST(SanWorklist, OverflowIsClampedAndReported) {
+  simt::Device dev(sanitizing_config());
+  simt::Worklist wl(dev, 4, "tiny");
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "overflow",
+             [&](simt::Thread& t) {
+               t.scan_push(wl, static_cast<std::uint32_t>(t.global_id()));
+             });
+  const san::Report report = dev.san_report();
+  EXPECT_EQ(count_kind(report, san::FindingKind::kWorklistOverflow), 1u);
+  ASSERT_GE(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].buffer, "tiny.items");
+  EXPECT_EQ(wl.size(), 4u);  // clamped to capacity instead of aborting
+}
+
+TEST(SanWorklist, PushIntoWorklistAlsoReadFires) {
+  // The double-buffering bug: handing W_in back in as W_out.
+  simt::Device dev(sanitizing_config());
+  simt::Worklist wl(dev, 64, "wl");
+  wl.fill_iota(32);
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "aliased",
+             [&](simt::Thread& t) {
+               const std::uint32_t v = t.ld(wl.items(), t.thread_in_block());
+               t.scan_push(wl, v);
+             });
+  const san::Report report = dev.san_report();
+  EXPECT_EQ(count_kind(report, san::FindingKind::kWorklistAlias), 1u);
+}
+
+TEST(SanWorklist, DoubleBufferingIsClean) {
+  simt::Device dev(sanitizing_config());
+  simt::Worklist in(dev, 64, "in");
+  simt::Worklist out(dev, 64, "out");
+  in.fill_iota(32);
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "double_buffered",
+             [&](simt::Thread& t) {
+               const std::uint32_t v = t.ld(in.items(), t.thread_in_block());
+               t.scan_push(out, v);
+             });
+  EXPECT_TRUE(dev.san_report().clean());
+  EXPECT_EQ(out.size(), 32u);
+}
+
+// --- report plumbing -------------------------------------------------------
+
+TEST(SanReport, FormatNamesTheDetectorAndBuffer) {
+  simt::Device dev(sanitizing_config());
+  auto buf = dev.alloc<std::uint32_t>(2, "fmt");
+  dev.launch({.grid_blocks = 1, .block_threads = 1}, "fmt_kernel",
+             [&](simt::Thread& t) { (void)t.ld(buf, 0); });
+  const std::string text = dev.san_report().format();
+  EXPECT_NE(text.find("speckle-san"), std::string::npos);
+  EXPECT_NE(text.find("uninitialized-load"), std::string::npos);
+  EXPECT_NE(text.find("fmt"), std::string::npos);
+  EXPECT_NE(text.find("fmt_kernel"), std::string::npos);
+  EXPECT_EQ(san::Report{}.format(), "speckle-san: 0 findings\n");
+}
+
+TEST(SanReport, OffByDefaultAndEmpty) {
+  simt::Device dev;  // sanitize defaults to false
+  EXPECT_FALSE(dev.sanitizing());
+  auto buf = dev.alloc<std::uint32_t>(4, "ignored");
+  dev.launch({.grid_blocks = 1, .block_threads = 1}, "plain",
+             [&](simt::Thread& t) { t.st(buf, 0, 1u); });
+  EXPECT_TRUE(dev.san_report().clean());
+  EXPECT_EQ(dev.san_report().total, 0u);
+}
+
+// --- determinism: identical reports at every host thread count -------------
+
+san::Report victim_report(std::uint32_t host_threads) {
+  simt::Device dev(sanitizing_config(host_threads));
+  auto x = dev.alloc<std::uint32_t>(1, "x");
+  auto cold = dev.alloc<std::uint32_t>(64, "cold");
+  x.fill(0);
+  dev.launch({.grid_blocks = 4, .block_threads = 32}, "victim",
+             [&](simt::Thread& t) {
+               t.st(x, 0, static_cast<std::uint32_t>(t.global_id()));
+               (void)t.ld(cold, t.thread_in_block());
+               (void)t.ld(x, 100);
+             });
+  return dev.san_report();
+}
+
+TEST(SanDeterminism, VictimReportsAreBitIdenticalAcrossThreadCounts) {
+  const san::Report base = victim_report(1);
+  EXPECT_FALSE(base.clean());
+  for (std::uint32_t threads : {2u, 4u}) {
+    EXPECT_EQ(victim_report(threads), base) << "threads=" << threads;
+  }
+}
+
+// --- the paper's schemes are sanitizer-clean -------------------------------
+
+class SanCleanSchemes : public ::testing::TestWithParam<coloring::Scheme> {};
+
+TEST_P(SanCleanSchemes, CleanAndIdenticalAtOneAndFourThreads) {
+  const graph::CsrGraph g = graph::make_suite_graph("rmat-er", 64, 1);
+  san::Report reports[2];
+  int i = 0;
+  for (std::uint32_t threads : {1u, 4u}) {
+    coloring::RunOptions run;
+    run.device.sanitize = true;
+    run.device.host_threads = threads;
+    const coloring::RunResult r = coloring::run_scheme(GetParam(), g, run);
+    EXPECT_TRUE(r.san.clean())
+        << "threads=" << threads << "\n"
+        << r.san.format();
+    reports[i++] = r.san;
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSchemes, SanCleanSchemes,
+    ::testing::Values(coloring::Scheme::kGm3Step, coloring::Scheme::kTopoBase,
+                      coloring::Scheme::kTopoLdg, coloring::Scheme::kDataBase,
+                      coloring::Scheme::kDataLdg, coloring::Scheme::kCsrColor,
+                      coloring::Scheme::kDataWarp, coloring::Scheme::kDataAtomic),
+    [](const ::testing::TestParamInfo<coloring::Scheme>& info) {
+      std::string name = coloring::scheme_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace

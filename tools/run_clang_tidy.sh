@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# sources in src/ and tools/, using the compilation database a CMake
+# configure exports (CMAKE_EXPORT_COMPILE_COMMANDS is on by default).
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+#   build-dir   directory containing compile_commands.json (default: build)
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script can
+# sit in CI/pre-commit hooks without making clang a hard dependency of the
+# build image; exits 2 when the compilation database is missing.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build}"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$tidy' not found; skipping static analysis." >&2
+  echo "run_clang_tidy: install clang-tidy or set CLANG_TIDY to enable." >&2
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_clang_tidy: no compilation database at $db" >&2
+  echo "run_clang_tidy: configure first: cmake -B '$build_dir' -S '$repo_root'" >&2
+  exit 2
+fi
+
+# First-party translation units only — tests and benches inherit their
+# hygiene from the library checks via the headers.
+mapfile -t files < <(cd "$repo_root" && find src tools -name '*.cpp' | sort)
+
+echo "run_clang_tidy: $(${tidy} --version | head -n1)"
+echo "run_clang_tidy: checking ${#files[@]} files against $db"
+status=0
+for f in "${files[@]}"; do
+  "$tidy" -p "$build_dir" --quiet "$@" "$repo_root/$f" || status=1
+done
+exit $status

@@ -6,12 +6,17 @@
 /// Usage:
 ///   speckle_color --graph=matrix.mtx [--scheme=D-ldg] [--block=128]
 ///                 [--out=colors.txt] [--balance] [--refine] [--distance2]
-///                 [--device-report] [--seed=1] [--threads=N]
+///                 [--device-report] [--sanitize] [--seed=1] [--threads=N]
 ///
 /// --threads=N sets the host threads of the simulator's wave executor
 /// (0 = one per hardware thread, the default). Colors and simulated times
 /// are bit-identical for every value; only host wall-clock changes.
 ///   speckle_color --suite=rmat-er --denom=8 ...
+///
+/// --sanitize runs the scheme under the speckle::san instrumentation layer
+/// (out-of-bounds, uninitialized reads, undeclared cross-block races, __ldg
+/// coherence, worklist misuse — see docs/simulator.md) and prints the
+/// findings; the exit code is 2 when any finding fired.
 ///
 /// Output file format: one line per vertex, "<vertex> <color>", colors
 /// 1-based; header lines start with '%'.
@@ -44,15 +49,26 @@ int main(int argc, char** argv) {
   const bool refine = opts.get_bool("refine", false);
   const bool distance2 = opts.get_bool("distance2", false);
   const bool device_report = opts.get_bool("device-report", false);
+  const bool sanitize = opts.get_bool("sanitize", false);
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   const auto threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
   opts.validate({"graph", "suite", "denom", "scheme", "block", "out", "balance",
-                 "refine", "distance2", "device-report", "seed", "threads"});
+                 "refine", "distance2", "device-report", "sanitize", "seed",
+                 "threads"});
   SPECKLE_CHECK(mtx.empty() != suite.empty(),
                 "pass exactly one of --graph=<path.mtx> or --suite=<name>");
 
-  const graph::CsrGraph g = !mtx.empty() ? graph::read_matrix_market(mtx)
-                                         : graph::make_suite_graph(suite, denom, seed);
+  graph::CsrGraph g;
+  if (!mtx.empty()) {
+    try {
+      g = graph::read_matrix_market(mtx);
+    } catch (const graph::MatrixMarketError& e) {
+      std::cerr << "speckle_color: " << e.what() << "\n";
+      return 1;
+    }
+  } else {
+    g = graph::make_suite_graph(suite, denom, seed);
+  }
   const graph::DegreeReport deg = graph::analyze_degrees(g);
   std::cout << "graph: " << (mtx.empty() ? suite : mtx) << "  n=" << deg.num_vertices
             << " m=" << deg.num_edges << " deg[" << deg.min_degree << ","
@@ -60,15 +76,18 @@ int main(int argc, char** argv) {
 
   coloring::Coloring coloring;
   coloring::color_t num_colors = 0;
+  san::Report san;
   if (distance2) {
     coloring::GpuOptions gpu;
     gpu.block_size = block;
     gpu.device.host_threads = threads;
+    gpu.device.sanitize = sanitize;
     const auto r = coloring::topo_color_d2(g, gpu);
     SPECKLE_CHECK(coloring::verify_coloring_d2(g, r.coloring).proper,
                   "distance-2 coloring invalid");
     coloring = r.coloring;
     num_colors = r.num_colors;
+    san = r.san;
     std::cout << "distance-2 topo-gpu: " << num_colors << " colors in "
               << r.iterations << " iterations, " << r.model_ms << " ms simulated\n";
   } else {
@@ -76,10 +95,12 @@ int main(int argc, char** argv) {
     run.block_size = block;
     run.seed = seed;
     run.device.host_threads = threads;
+    run.device.sanitize = sanitize;
     const auto scheme = coloring::scheme_from_name(scheme_name);
     const auto r = coloring::run_scheme(scheme, g, run);
     coloring = r.coloring;
     num_colors = r.num_colors;
+    san = r.san;
     std::cout << scheme_name << ": " << num_colors << " colors in " << r.iterations
               << " iterations, " << r.model_ms << " ms simulated, " << r.wall_ms
               << " ms host wall\n";
@@ -89,6 +110,7 @@ int main(int argc, char** argv) {
                 << simt::format_stall_breakdown(r.report.aggregate_stalls());
     }
   }
+  if (sanitize) std::cout << san.format();
 
   if (refine && !distance2) {
     const auto r = coloring::iterated_greedy(g, coloring);
@@ -115,5 +137,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote " << out_path << "\n";
   }
-  return 0;
+  return sanitize && !san.clean() ? 2 : 0;
 }
