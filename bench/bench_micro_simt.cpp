@@ -92,6 +92,106 @@ void BM_CacheModelAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheModelAccess);
 
+// ---- isolated hot-loop benches (docs/simulator.md §10) -------------------
+// The three loops below are the simulator's measured hot paths: the
+// per-thread trace append + warp merge, the streaming coalescer, and the
+// cache probe. They run on synthetic streams so a regression shows up in
+// nanoseconds-per-op instead of minutes of bench_fig7.
+
+/// Trace append + index-aligned merge for one fully-converged warp: each
+/// lane appends (compute, load)* then the 32 streams merge. Exercises the
+/// adjacent-compute merging, the SoA append path, and the lockstep merge.
+void BM_TraceAppendMergeConverged(benchmark::State& state) {
+  const std::size_t ops = static_cast<std::size_t>(state.range(0));
+  std::vector<ThreadTrace> lanes(32);
+  WarpTrace out;
+  for (auto _ : state) {
+    for (std::uint32_t l = 0; l < 32; ++l) {
+      ThreadTrace& t = lanes[l];
+      t.clear();
+      for (std::size_t i = 0; i < ops; ++i) {
+        t.compute(2);
+        t.compute(3);  // merges into the previous compute op
+        t.memory(OpKind::kLoad, Space::kGlobal, (i * 32 + l) * 4, 4);
+      }
+    }
+    merge_warp(lanes, 128, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops) * 32);
+}
+BENCHMARK(BM_TraceAppendMergeConverged)->Arg(256);
+
+/// Same shape but lane 7 issues an extra compute op first, so every round
+/// takes the divergent leader-scan path.
+void BM_TraceMergeDivergent(benchmark::State& state) {
+  const std::size_t ops = static_cast<std::size_t>(state.range(0));
+  std::vector<ThreadTrace> lanes(32);
+  for (std::uint32_t l = 0; l < 32; ++l) {
+    ThreadTrace& t = lanes[l];
+    if (l == 7) t.memory(OpKind::kLoad, Space::kGlobal, 0, 4);
+    for (std::size_t i = 0; i < ops; ++i) {
+      t.compute(1);
+      t.memory(OpKind::kLoad, Space::kGlobal, (i * 32 + l) * 4, 4);
+    }
+  }
+  WarpTrace out;
+  for (auto _ : state) {
+    merge_warp(lanes, 128, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops) * 32);
+}
+BENCHMARK(BM_TraceMergeDivergent)->Arg(256);
+
+/// Streaming coalescer, ascending addresses (the fast append path): 32
+/// unit-stride 4-byte lanes collapsing into four 128-byte lines.
+void BM_CoalescerAscending(benchmark::State& state) {
+  Coalescer co(128);
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    co.reset();
+    for (std::uint64_t l = 0; l < 32; ++l) co.add(base + l * 4, 4);
+    benchmark::DoNotOptimize(co.lines().size());
+    base += 512;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_CoalescerAscending);
+
+/// Streaming coalescer, scattered addresses (binary-search insert path).
+void BM_CoalescerScattered(benchmark::State& state) {
+  Coalescer co(128);
+  for (auto _ : state) {
+    co.reset();
+    std::uint64_t a = 12345;
+    for (std::uint64_t l = 0; l < 32; ++l) {
+      a = a * 6364136223846793005ULL + 1442695040888963407ULL;
+      co.add((a >> 20) & ~std::uint64_t{3}, 4);
+    }
+    benchmark::DoNotOptimize(co.lines().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_CoalescerScattered);
+
+/// Hit-dominated probe of a small cache (the steady-state L2 pattern):
+/// round-robin over half the sets so every access hits after warmup.
+void BM_CacheModelHit(benchmark::State& state) {
+  CacheModel cache(192 * 1024, 128, 16);  // the denom=8 scaled L2 geometry
+  const std::uint64_t lines = 192 * 1024 / 128 / 2;
+  std::uint64_t i = 0;
+  for (std::uint64_t w = 0; w < lines; ++w) cache.access(w * 128);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(i * 128));
+    if (++i == lines) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheModelHit);
+
 }  // namespace
 
 BENCHMARK_MAIN();

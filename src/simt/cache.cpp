@@ -3,6 +3,17 @@
 #include "support/check.hpp"
 
 namespace speckle::simt {
+namespace {
+
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint32_t log2_u32(std::uint64_t x) {
+  std::uint32_t bits = 0;
+  while ((1ULL << bits) < x) ++bits;
+  return bits;
+}
+
+}  // namespace
 
 CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t line_bytes,
                        std::uint32_t ways)
@@ -10,52 +21,29 @@ CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t line_bytes,
   SPECKLE_CHECK(line_bytes > 0 && ways > 0, "cache geometry must be positive");
   SPECKLE_CHECK(size_bytes % (static_cast<std::uint64_t>(line_bytes) * ways) == 0,
                 "cache size must be divisible by line*ways");
+  SPECKLE_CHECK(ways <= 255, "8-bit recency supports at most 255 ways");
   num_sets_ = static_cast<std::uint32_t>(size_bytes / line_bytes / ways);
   SPECKLE_CHECK(num_sets_ > 0, "cache must have at least one set");
-  sets_.resize(static_cast<std::size_t>(num_sets_) * ways_);
-}
-
-bool CacheModel::access(std::uint64_t line_addr) {
-  SPECKLE_CHECK(line_addr % line_bytes_ == 0, "cache access must be line-aligned");
-  const std::uint64_t line_id = line_addr / line_bytes_;
-  const std::uint32_t set = static_cast<std::uint32_t>(line_id % num_sets_);
-  const std::uint64_t tag = line_id / num_sets_;
-  Way* base = &sets_[static_cast<std::size_t>(set) * ways_];
-  ++tick_;
-  Way* victim = base;
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    Way& way = base[w];
-    if (way.valid && way.tag == tag) {
-      way.last_use = tick_;
-      ++hits_;
-      return true;
-    }
-    if (!way.valid) {
-      victim = &way;
-    } else if (victim->valid && way.last_use < victim->last_use) {
-      victim = &way;
-    }
+  line_pow2_ = is_pow2(line_bytes_);
+  if (line_pow2_) line_shift_ = log2_u32(line_bytes_);
+  sets_pow2_ = is_pow2(num_sets_);
+  if (sets_pow2_) {
+    set_mask_ = num_sets_ - 1;
+    set_shift_ = log2_u32(num_sets_);
+  } else {
+    // floor(2^64/d)+1 for d not a power of two (so d never divides 2^64 and
+    // ~0ULL/d == floor(2^64/d)). floor(id*magic/2^64) == id/d exactly while
+    // id < 2^64/d: the error term id*(2^64 mod d + 1)/(d*2^64) stays below
+    // the 1/d gap to the next integer quotient.
+    magic_ = ~0ULL / num_sets_ + 1;
+    magic_safe_ = ~0ULL / num_sets_;
   }
-  ++misses_;
-  victim->valid = true;
-  victim->tag = tag;
-  victim->last_use = tick_;
-  return false;
-}
-
-bool CacheModel::probe(std::uint64_t line_addr) const {
-  const std::uint64_t line_id = line_addr / line_bytes_;
-  const std::uint32_t set = static_cast<std::uint32_t>(line_id % num_sets_);
-  const std::uint64_t tag = line_id / num_sets_;
-  const Way* base = &sets_[static_cast<std::size_t>(set) * ways_];
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) return true;
-  }
-  return false;
+  tags_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+  invalidate_all();
 }
 
 void CacheModel::invalidate_all() {
-  for (Way& way : sets_) way.valid = false;
+  for (std::uint64_t& tag : tags_) tag = kInvalidTag;
 }
 
 }  // namespace speckle::simt

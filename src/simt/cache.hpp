@@ -3,9 +3,24 @@
 /// Set-associative LRU cache model used for the per-SM read-only data cache
 /// and the device-wide L2. Tracks tags only — data flows through the
 /// functional layer; the model answers "hit or miss" and keeps counters.
+///
+/// Hot-path layout: one flat tag array indexed by shift-mask when the set
+/// count is a power of two, with each set's ways kept in recency order —
+/// position 0 is the MRU way, position ways-1 the LRU way. Recency updates
+/// are a move-to-front memmove of at most ways-1 tags (a no-op for the
+/// dominant re-touch-the-MRU pattern), eviction always replaces the tail,
+/// and there is no per-way metadata at all. Which physical slot holds which
+/// tag is semantically invisible — hits depend only on set membership and
+/// eviction only on the recency order — so hit/miss sequences are
+/// bit-identical to the previous timestamped-ways model (invalid ways sit
+/// at the tail and are consumed before any valid way, matching its
+/// fill-empty-ways-first behaviour).
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
+
+#include "support/check.hpp"
 
 namespace speckle::simt {
 
@@ -16,11 +31,47 @@ class CacheModel {
   CacheModel(std::uint64_t size_bytes, std::uint32_t line_bytes, std::uint32_t ways);
 
   /// Look up `line_addr` (must be line-aligned); fills on miss.
-  /// Returns true on hit.
-  bool access(std::uint64_t line_addr);
+  /// Returns true on hit. Header-defined: the simulator calls this hundreds
+  /// of millions of times per run, so it must inline into the wave loops.
+  bool access(std::uint64_t line_addr) {
+    SPECKLE_CHECK(line_pow2_ ? (line_addr & (line_bytes_ - 1)) == 0
+                             : line_addr % line_bytes_ == 0,
+                  "cache access must be line-aligned");
+    std::uint64_t tag = 0;
+    const std::size_t base = locate(line_addr, tag);
+    std::uint64_t* tags = &tags_[base];
+    // Hits favour the front of the recency order, so the scan exits early
+    // for the common re-touch patterns. (A branchless full-set match mask
+    // was tried and measured slower: the early exit wins because most hits
+    // land in the first few ways.)
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == tag) {
+        ++hits_;
+        if (w != 0) {  // move to front: everything younger slides down
+          std::memmove(tags + 1, tags, w * sizeof(tags[0]));
+          tags[0] = tag;
+        }
+        return true;
+      }
+    }
+    ++misses_;
+    // Fill replaces the tail — the LRU way, or an invalid way (invalid tags
+    // are never touched, so they accumulate at the tail).
+    std::memmove(tags + 1, tags, (ways_ - 1) * sizeof(tags[0]));
+    tags[0] = tag;
+    return false;
+  }
 
   /// Look up without filling (used by write-through stores).
-  bool probe(std::uint64_t line_addr) const;
+  bool probe(std::uint64_t line_addr) const {
+    std::uint64_t tag = 0;
+    const std::size_t base = locate(line_addr, tag);
+    const std::uint64_t* tags = &tags_[base];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == tag) return true;
+    }
+    return false;
+  }
 
   /// Drop all contents (kernel boundary for the read-only cache: its
   /// coherence story only holds within one kernel).
@@ -33,17 +84,45 @@ class CacheModel {
   std::uint32_t num_sets() const { return num_sets_; }
 
  private:
-  struct Way {
-    std::uint64_t tag = ~0ULL;
-    std::uint64_t last_use = 0;
-    bool valid = false;
-  };
+  /// No real device address maps to this tag (it would need a ~2^64 byte
+  /// address), so it doubles as the "invalid way" marker.
+  static constexpr std::uint64_t kInvalidTag = ~0ULL;
+
+  /// Decompose a line address into (first-way index of its set, tag).
+  std::size_t locate(std::uint64_t line_addr, std::uint64_t& tag) const {
+    const std::uint64_t line_id =
+        line_pow2_ ? line_addr >> line_shift_ : line_addr / line_bytes_;
+    std::uint32_t set;
+    if (sets_pow2_) {  // shift-mask indexing
+      set = static_cast<std::uint32_t>(line_id) & set_mask_;
+      tag = line_id >> set_shift_;
+    } else if (line_id < magic_safe_) [[likely]] {
+      // Scaled configs shrink caches to non-pow2 set counts; divide by the
+      // precomputed reciprocal instead of issuing a hardware division.
+      // magic_ = floor(2^64/sets)+1, exact for line_id < 2^64/sets — which
+      // covers every address either address space can produce.
+      const std::uint64_t q = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(line_id) * magic_) >> 64);
+      set = static_cast<std::uint32_t>(line_id - q * num_sets_);
+      tag = q;
+    } else {
+      set = static_cast<std::uint32_t>(line_id % num_sets_);
+      tag = line_id / num_sets_;
+    }
+    return static_cast<std::size_t>(set) * ways_;
+  }
 
   std::uint32_t line_bytes_;
+  std::uint32_t line_shift_ = 0;  ///< log2(line_bytes) when pow2
   std::uint32_t ways_;
   std::uint32_t num_sets_;
-  std::vector<Way> sets_;  ///< num_sets_ * ways_, row-major
-  std::uint64_t tick_ = 0;
+  std::uint32_t set_mask_ = 0;   ///< num_sets-1 when pow2
+  std::uint32_t set_shift_ = 0;  ///< log2(num_sets) when pow2
+  std::uint64_t magic_ = 0;      ///< floor(2^64/num_sets)+1 when not pow2
+  std::uint64_t magic_safe_ = 0; ///< magic division exact below this line_id
+  bool line_pow2_ = true;
+  bool sets_pow2_ = true;
+  std::vector<std::uint64_t> tags_;  ///< num_sets * ways, each set MRU-first
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

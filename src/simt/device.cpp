@@ -34,9 +34,12 @@ void Thread::scan_push(Worklist& wl, std::uint32_t value) {
 
 /// Per-lane scratch: one arena per pool slot, reused for every block that
 /// lane executes — trace arrays, block state and the write overlay keep
-/// their allocations across blocks and launches.
+/// their allocations across blocks and launches. The lane traces live in
+/// one flat grow-only array (lane l of warp w at index w*warp_size+l);
+/// clear() retains each trace's SoA buffers, so a warm arena executes a
+/// block without touching the heap.
 struct Device::ExecArena {
-  std::vector<std::vector<ThreadTrace>> traces;  ///< [warp][lane]
+  std::vector<ThreadTrace> lanes;  ///< flat [warp][lane], grow-only
   BlockState bstate;
   WriteOverlay overlay;
   san::BlockLog san_log;  ///< used only when the device sanitizes
@@ -97,19 +100,18 @@ void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
   if (pushes.empty()) return;
 
   const std::uint32_t scan_insts = 2 * ceil_log2(std::max(2u, cfg.block_threads));
-  for (WarpTrace& wt : work.warps) {
-    wt.ops.push_back({OpKind::kCompute, Space::kGlobal,
-                      static_cast<std::uint16_t>(scan_insts), 32, {}});
-    wt.ops.push_back({OpKind::kSharedAccess, Space::kGlobal, 1, 32, {}});
-    wt.ops.push_back({OpKind::kSync, Space::kGlobal, 1, 32, {}});
+  for (std::uint32_t wi = 0; wi < work.active; ++wi) {
+    WarpTrace& wt = work.warps[wi];
+    wt.push_op(OpKind::kCompute, Space::kGlobal,
+               static_cast<std::uint16_t>(scan_insts), 32);
+    wt.push_op(OpKind::kSharedAccess, Space::kGlobal, 1, 32);
+    wt.push_op(OpKind::kSync, Space::kGlobal, 1, 32);
   }
 
   // Group by destination worklist in first-seen order. Nearly every kernel
   // pushes to exactly one worklist, so a tiny flat vector beats a std::map;
-  // the scratch vectors live across blocks (commit is single-threaded).
+  // the scratch lives across blocks (commit is single-threaded).
   static thread_local std::vector<Worklist*> lists;
-  static thread_local std::vector<std::uint64_t> lane_addrs;
-  static thread_local std::vector<std::uint8_t> lane_sizes;
 
   lists.clear();
   for (const BlockState::PendingPush& push : pushes) {
@@ -144,23 +146,22 @@ void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
     }
 
     // Timing: one atomic on the tail, performed by warp 0's leader.
-    work.warps.front().ops.push_back(
-        {OpKind::kAtomic, Space::kGlobal, 1, 1, {tail.addr_of(0)}});
+    const std::uint64_t tail_addr = tail.addr_of(0);
+    work.warps[0].push_op(OpKind::kAtomic, Space::kGlobal, 1, 1, {&tail_addr, 1});
 
     // Per-warp coalesced stores of that warp's items. Pushes arrive in
-    // thread order, so each warp's pushes form one contiguous run.
+    // thread order, so each warp's pushes form one contiguous ascending run
+    // — the coalescer's O(1) append path.
+    Coalescer co(dev.line_bytes);
+    std::uint16_t run_lanes = 0;
     auto emit_warp_store = [&](std::uint32_t warp) {
-      if (lane_addrs.empty()) return;
-      WarpOp store{OpKind::kStore, Space::kGlobal, 1,
-                   static_cast<std::uint16_t>(lane_addrs.size()), {}};
-      store.addrs = coalesce(lane_addrs, lane_sizes, dev.line_bytes);
-      work.warps[warp].ops.push_back(std::move(store));
-      lane_addrs.clear();
-      lane_sizes.clear();
+      if (run_lanes == 0) return;
+      work.warps[warp].push_op(OpKind::kStore, Space::kGlobal, 1, run_lanes,
+                               co.lines());
+      co.reset();
+      run_lanes = 0;
     };
 
-    lane_addrs.clear();
-    lane_sizes.clear();
     std::uint32_t run_warp = 0;
     std::size_t idx = 0;
     for (const BlockState::PendingPush& push : pushes) {
@@ -172,16 +173,16 @@ void flush_scan_pushes(const DeviceConfig& dev, const LaunchConfig& cfg,
         run_warp = warp;
       }
       items[offset + idx] = push.value;
-      lane_addrs.push_back(items.addr_of(offset + idx));
-      lane_sizes.push_back(sizeof(std::uint32_t));
+      co.add(items.addr_of(offset + idx), sizeof(std::uint32_t));
+      ++run_lanes;
       ++idx;
     }
     emit_warp_store(run_warp);
   }
 
   // Second barrier: the offset broadcast before the stores retire.
-  for (WarpTrace& wt : work.warps) {
-    wt.ops.push_back({OpKind::kSync, Space::kGlobal, 1, 32, {}});
+  for (std::uint32_t wi = 0; wi < work.active; ++wi) {
+    work.warps[wi].push_op(OpKind::kSync, Space::kGlobal, 1, 32);
   }
   pushes.clear();
 }
@@ -203,11 +204,10 @@ void Device::execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& p
                            std::uint32_t block, std::uint32_t warps_per_block,
                            ExecArena& arena, bool speculative, BlockWork& work,
                            BlockResult* result) {
-  if (arena.traces.size() != warps_per_block) arena.traces.resize(warps_per_block);
-  for (auto& warp : arena.traces) {
-    if (warp.size() != config_.warp_size) warp.resize(config_.warp_size);
-    for (ThreadTrace& lane : warp) lane.clear();
-  }
+  const std::size_t lane_count =
+      static_cast<std::size_t>(warps_per_block) * config_.warp_size;
+  if (arena.lanes.size() < lane_count) arena.lanes.resize(lane_count);
+  for (std::size_t i = 0; i < lane_count; ++i) arena.lanes[i].clear();
   BlockState& bstate = arena.bstate;
   bstate.shared_words.assign(std::max<std::size_t>(cfg.smem_bytes_per_block / 4, 1),
                              0);
@@ -230,7 +230,7 @@ void Device::execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& p
         const std::uint32_t tid = w * config_.warp_size + l;
         if (tid >= cfg.block_threads) break;
         Thread thread(block, tid, cfg.block_threads, cfg.grid_blocks,
-                      config_.warp_size, arena.traces[w][l], bstate);
+                      config_.warp_size, arena.lanes[tid], bstate);
         phases[phase](thread);
       }
       // Warp retirement: racy stores become visible to later warps (of this
@@ -246,16 +246,19 @@ void Device::execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& p
       bstate.deferred.clear();
     }
     if (phase + 1 < phases.size()) {
-      for (auto& warp : arena.traces) {
-        for (ThreadTrace& lane : warp) lane.sync();
-      }
+      for (std::size_t i = 0; i < lane_count; ++i) arena.lanes[i].sync();
     }
   }
 
-  work.warps.clear();
-  work.warps.reserve(warps_per_block);
+  // Merge into the pooled warp slots: grow-only, so reused slots keep their
+  // SoA buffers (merge_warp clears before filling).
+  if (work.warps.size() < warps_per_block) work.warps.resize(warps_per_block);
+  work.active = warps_per_block;
   for (std::uint32_t w = 0; w < warps_per_block; ++w) {
-    work.warps.push_back(merge_warp(arena.traces[w], config_.line_bytes));
+    merge_warp({arena.lanes.data() +
+                    static_cast<std::size_t>(w) * config_.warp_size,
+                config_.warp_size},
+               config_.line_bytes, work.warps[w]);
   }
 
   if (result != nullptr) {
@@ -395,11 +398,12 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
       }
     }
 
-    std::vector<std::vector<const BlockWork*>> per_sm(config_.num_sms);
+    if (per_sm_.size() != config_.num_sms) per_sm_.resize(config_.num_sms);
+    for (auto& sm_blocks : per_sm_) sm_blocks.clear();
     for (std::uint32_t bi = 0; bi < wave_count; ++bi) {
-      per_sm[bi % config_.num_sms].push_back(&works_[bi]);
+      per_sm_[bi % config_.num_sms].push_back(&works_[bi]);
     }
-    t = engine_.run_wave(per_sm, t, stats, pool_.get());
+    t = engine_.run_wave(per_sm_, t, stats, pool_.get());
   }
 
   if (san_ != nullptr) san_->end_launch();

@@ -130,6 +130,7 @@ class Device {
   std::vector<std::unique_ptr<ExecArena>> arenas_;  ///< one per pool slot
   std::vector<BlockWork> works_;          ///< per-wave, reused across waves
   std::vector<std::unique_ptr<BlockResult>> results_;  ///< per-wave, reused
+  std::vector<std::vector<const BlockWork*>> per_sm_;  ///< per-wave, reused
 };
 
 }  // namespace speckle::simt

@@ -53,38 +53,12 @@ double MemorySystem::atomic(std::uint64_t word_addr, double now) {
 }
 
 MemorySystem::WaveView::WaveView(MemorySystem& parent, std::uint32_t sm)
-    : parent_(&parent), sm_(sm), l2_(parent.l2_) {
-  SPECKLE_CHECK(sm < parent.ro_caches_.size(), "wave view for unknown SM");
-}
-
-MemorySystem::LoadResult MemorySystem::WaveView::load(Space space,
-                                                      std::uint64_t line_addr) {
-  LoadResult result;
-  if (space == Space::kReadOnly) {
-    // The read-only cache is per-SM, so the view touches the real one.
-    if (parent_->ro_caches_[sm_].access(line_addr)) {
-      result.ro_hit = true;
-      result.latency = parent_->dev_.ro_hit_latency;
-      return result;
-    }
-  }
-  l2_log_.push_back(line_addr);
-  if (l2_.access(line_addr)) {
-    result.l2_hit = true;
-    result.latency = parent_->dev_.l2_hit_latency;
-  } else {
-    result.dram = true;
-    result.latency = parent_->dev_.dram_latency;
-  }
-  // On an RO miss the fill overlaps the L2/DRAM trip — no extra charge
-  // (__ldg must never be slower than the plain-load path it replaces).
-  return result;
-}
-
-bool MemorySystem::WaveView::store(std::uint64_t line_addr) {
-  l2_log_.push_back(line_addr);
-  return !l2_.access(line_addr);
-}
+    : parent_(&parent),
+      ro_(&parent.ro_caches_.at(sm)),
+      ro_hit_latency_(parent.dev_.ro_hit_latency),
+      l2_hit_latency_(parent.dev_.l2_hit_latency),
+      dram_latency_(parent.dev_.dram_latency),
+      l2_(parent.l2_) {}
 
 double MemorySystem::WaveView::atomic(std::uint64_t word_addr, double now) {
   auto local = atomic_local_.find(word_addr);
@@ -102,9 +76,32 @@ double MemorySystem::WaveView::atomic(std::uint64_t word_addr, double now) {
   return start + static_cast<double>(parent_->dev_.atomic_latency);
 }
 
+void MemorySystem::reset_view(WaveView& view, std::uint32_t sm) {
+  view.parent_ = this;
+  view.ro_ = &ro_caches_.at(sm);
+  view.ro_hit_latency_ = dev_.ro_hit_latency;
+  view.l2_hit_latency_ = dev_.l2_hit_latency;
+  view.dram_latency_ = dev_.dram_latency;
+  view.l2_ = l2_;  // vector copy-assign: reuses the tag/age storage
+  view.l2_log_.clear();
+  view.atomic_local_.clear();
+}
+
 void MemorySystem::commit_wave(std::vector<WaveView>& views) {
+  bool first = true;
   for (WaveView& view : views) {
-    for (const std::uint64_t line : view.l2_log_) l2_.access(line);
+    if (first) {
+      // The master L2 is frozen while the wave runs, so the first view's
+      // private copy — master snapshot evolved by exactly the accesses its
+      // log records — already equals the state (tags and counters) that
+      // replaying its log would produce. Swap it in instead of replaying;
+      // the stale state left in the view is overwritten at the next
+      // reset_view, and the swap keeps both allocations alive for reuse.
+      std::swap(l2_, view.l2_);
+      first = false;
+    } else {
+      for (const std::uint64_t line : view.l2_log_) l2_.access(line);
+    }
     for (const auto& [word, ready] : view.atomic_local_) {
       double& master = atomic_ready_[word];
       master = std::max(master, ready);

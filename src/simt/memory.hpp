@@ -55,8 +55,39 @@ class MemorySystem {
   /// resolved at wave granularity (see docs/simulator.md §7).
   class WaveView {
    public:
-    LoadResult load(Space space, std::uint64_t line_addr);
-    bool store(std::uint64_t line_addr);
+    /// Header-defined: load/store sit on the timing loop's innermost path
+    /// (one call per coalesced transaction), so they must inline together
+    /// with CacheModel::access instead of paying a cross-TU call each. The
+    /// latencies and the SM's read-only cache are cached in the view at
+    /// construction/reset so the fast path never chases parent_->dev_.
+    LoadResult load(Space space, std::uint64_t line_addr) {
+      LoadResult result;
+      if (space == Space::kReadOnly) {
+        // The read-only cache is per-SM, so the view touches the real one.
+        if (ro_->access(line_addr)) {
+          result.ro_hit = true;
+          result.latency = ro_hit_latency_;
+          return result;
+        }
+      }
+      l2_log_.push_back(line_addr);
+      if (l2_.access(line_addr)) {
+        result.l2_hit = true;
+        result.latency = l2_hit_latency_;
+      } else {
+        result.dram = true;
+        result.latency = dram_latency_;
+      }
+      // On an RO miss the fill overlaps the L2/DRAM trip — no extra charge
+      // (__ldg must never be slower than the plain-load path it replaces).
+      return result;
+    }
+
+    bool store(std::uint64_t line_addr) {
+      l2_log_.push_back(line_addr);
+      return !l2_.access(line_addr);
+    }
+
     double atomic(std::uint64_t word_addr, double now);
 
    private:
@@ -64,13 +95,21 @@ class MemorySystem {
     WaveView(MemorySystem& parent, std::uint32_t sm);
 
     MemorySystem* parent_;
-    std::uint32_t sm_;
+    CacheModel* ro_;  ///< the owning SM's read-only cache (lives in parent)
+    std::uint64_t ro_hit_latency_;
+    std::uint64_t l2_hit_latency_;
+    std::uint64_t dram_latency_;
     CacheModel l2_;  ///< copy of the shared L2 at wave start
     std::unordered_map<std::uint64_t, double> atomic_local_;
     std::vector<std::uint64_t> l2_log_;  ///< L2 probes in access order
   };
 
   WaveView wave_view(std::uint32_t sm) { return WaveView(*this, sm); }
+
+  /// Re-arm an existing view for a new wave: re-snapshot the L2 into its
+  /// storage and drop the logs. Equivalent to `view = wave_view(sm)` but
+  /// reuses the view's buffers, so steady-state waves allocate nothing.
+  void reset_view(WaveView& view, std::uint32_t sm);
 
   /// Fold the per-SM views back into the shared state, in SM order.
   void commit_wave(std::vector<WaveView>& views);

@@ -34,7 +34,11 @@ class WriteOverlay {
   /// Pointer to the raw value last written to `addr` by this block, or
   /// nullptr if the block has not written it.
   const std::uint64_t* find(std::uint64_t addr) const {
-    if (writes_.empty()) return nullptr;
+    // Range prefilter: kernels read mostly-immutable arrays (adjacency,
+    // offsets) that live far from the arrays they write, so one compare
+    // against the written-address envelope rejects most probes before the
+    // hash. [lo_, hi_] is empty (lo_ > hi_) when there are no writes.
+    if (addr < write_lo_ || addr > write_hi_) return nullptr;
     std::size_t slot = hash(addr) & mask_;
     for (;;) {
       const Slot& s = slots_[slot];
@@ -46,6 +50,8 @@ class WriteOverlay {
 
   /// Record (or update) this block's write of `size` bytes to `addr`.
   void put(std::uint64_t addr, void* host, std::uint64_t raw, std::uint8_t size) {
+    if (addr < write_lo_) write_lo_ = addr;
+    if (addr > write_hi_) write_hi_ = addr;
     if (slots_.empty() || (writes_.size() + 1) * 2 > slots_.size()) grow();
     std::size_t slot = hash(addr) & mask_;
     for (;;) {
@@ -72,6 +78,8 @@ class WriteOverlay {
   void clear() {
     writes_.clear();
     ++epoch_;
+    write_lo_ = ~std::uint64_t{0};
+    write_hi_ = 0;
   }
 
  private:
@@ -105,6 +113,8 @@ class WriteOverlay {
   std::vector<Slot> slots_;
   std::uint64_t epoch_ = 1;
   std::size_t mask_ = 0;
+  std::uint64_t write_lo_ = ~std::uint64_t{0};  ///< written-address envelope
+  std::uint64_t write_hi_ = 0;
 };
 
 }  // namespace speckle::simt

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "support/check.hpp"
 #include "support/threadpool.hpp"
@@ -12,48 +11,41 @@ namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-struct WarpRt {
-  const WarpTrace* trace = nullptr;
-  std::size_t cursor = 0;
-  double ready = 0.0;
-  Stall reason = Stall::kIdle;
-  std::uint32_t block_slot = 0;
-  bool parked = false;
-
-  bool done() const { return cursor >= trace->ops.size(); }
-};
-
-struct BarrierRt {
-  std::uint32_t expected = 0;
-  std::uint32_t arrived = 0;
-  double max_arrival = 0.0;
-  std::vector<std::uint32_t> waiting;
-};
-
 }  // namespace
 
 TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
                                              const std::vector<const BlockWork*>& blocks,
                                              double start, KernelStats& stats,
                                              MemorySystem::WaveView& view) {
-  (void)sm;
   SmOutcome outcome;
   outcome.finish = start;
   if (blocks.empty()) return outcome;
 
+  // Hoist the device parameters the event loop reads per instruction so the
+  // compiler can keep them in registers across the switch.
   const double issue_cost = 1.0 / dev_.issue_slots_per_cycle;
+  const double compute_latency = dev_.compute_latency;
+  const double shared_latency = dev_.shared_latency;
+  const std::size_t mshrs_per_sm = dev_.mshrs_per_sm;
+  const std::uint64_t dram_sector_bytes = dev_.dram_sector_bytes;
 
-  std::vector<WarpRt> warps;
-  std::vector<BarrierRt> barriers(blocks.size());
+  SmScratch& scratch = scratch_[sm];
+  std::vector<WarpRt>& warps = scratch.warps;
+  std::vector<BarrierRt>& barriers = scratch.barriers;
+  warps.clear();
+  if (barriers.size() < blocks.size()) barriers.resize(blocks.size());
   for (std::uint32_t slot = 0; slot < blocks.size(); ++slot) {
+    BarrierRt& barrier = barriers[slot];
+    barrier.expected = 0;
+    barrier.arrived = 0;
+    barrier.max_arrival = 0.0;
+    barrier.waiting.clear();
     std::uint64_t sync_count = 0;
     bool first = true;
-    for (const WarpTrace& wt : blocks[slot]->warps) {
-      std::uint64_t syncs = 0;
-      for (const WarpOp& op : wt.ops) {
-        if (op.kind == OpKind::kSync) ++syncs;
-      }
-      if (syncs > 0) ++barriers[slot].expected;
+    for (std::uint32_t wi = 0; wi < blocks[slot]->active; ++wi) {
+      const WarpTrace& wt = blocks[slot]->warps[wi];
+      const std::uint64_t syncs = wt.sync_count();
+      if (syncs > 0) ++barrier.expected;
       if (first) {
         sync_count = syncs;
         first = false;
@@ -61,55 +53,75 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
         SPECKLE_CHECK(syncs == sync_count || syncs == 0,
                       "warps of a block must hit the same barriers");
       }
-      if (!wt.ops.empty()) {
+      if (!wt.empty()) {
         warps.push_back({&wt, 0, start, Stall::kIdle, slot, false});
       }
     }
   }
   if (warps.empty()) return outcome;
 
-  // Outstanding DRAM-miss completions (MSHR occupancy) for this SM.
-  std::priority_queue<double, std::vector<double>, std::greater<>> outstanding;
+  // Outstanding DRAM-miss completions (MSHR occupancy) for this SM, kept as
+  // a min-heap over the pooled vector.
+  std::vector<double>& outstanding = scratch.mshr;
+  outstanding.clear();
+  auto mshr_push = [&](double t) {
+    outstanding.push_back(t);
+    std::push_heap(outstanding.begin(), outstanding.end(), std::greater<>());
+  };
+  auto mshr_pop = [&] {
+    std::pop_heap(outstanding.begin(), outstanding.end(), std::greater<>());
+    outstanding.pop_back();
+  };
 
   double clock = start;
   double busy = 0.0;
   std::size_t remaining = warps.size();
 
   auto drain_completed_mshrs = [&](double now) {
-    while (!outstanding.empty() && outstanding.top() <= now) outstanding.pop();
+    while (!outstanding.empty() && outstanding.front() <= now) mshr_pop();
+  };
+
+  std::vector<std::pair<double, std::uint32_t>>& ready_q = scratch.ready_q;
+  ready_q.clear();
+  for (std::uint32_t i = 0; i < warps.size(); ++i) {
+    ready_q.emplace_back(warps[i].ready, i);
+  }
+  std::make_heap(ready_q.begin(), ready_q.end(), std::greater<>());
+  auto q_push = [&](double ready, std::uint32_t idx) {
+    ready_q.emplace_back(ready, idx);
+    std::push_heap(ready_q.begin(), ready_q.end(), std::greater<>());
   };
 
   while (remaining > 0) {
-    // Pick the unparked, unfinished warp with the earliest ready time.
-    std::size_t pick = warps.size();
-    double best = kInfinity;
-    for (std::size_t i = 0; i < warps.size(); ++i) {
-      const WarpRt& w = warps[i];
-      if (w.parked || w.done()) continue;
-      if (w.ready < best) {
-        best = w.ready;
-        pick = i;
-      }
-    }
-    SPECKLE_CHECK(pick < warps.size(), "all warps parked: barrier deadlock");
+    // Pop the unparked, unfinished warp with the earliest ready time
+    // (lowest index on ties — the order the old linear scan produced).
+    SPECKLE_CHECK(!ready_q.empty(), "all warps parked: barrier deadlock");
+    std::pop_heap(ready_q.begin(), ready_q.end(), std::greater<>());
+    const std::uint32_t pick = ready_q.back().second;
+    ready_q.pop_back();
     WarpRt& w = warps[pick];
 
+   issue_from_same_warp:
     if (w.ready > clock) {
       stats.stalls.add(w.reason, w.ready - clock);
       clock = w.ready;
     }
     drain_completed_mshrs(clock);
 
-    const WarpOp& op = w.trace->ops[w.cursor];
+    const WarpTrace& wt = *w.trace;
+    const std::size_t cur = w.cursor;
     ++w.cursor;
 
-    switch (op.kind) {
+    // Switch on the 1-byte kind stream first; each case reads only the
+    // fields it consumes (compute/sync never touch the address pool).
+    switch (wt.kind(cur)) {
       case OpKind::kCompute: {
-        const double issue_time = op.inst_count * issue_cost;
+        const std::uint16_t inst_count = wt.inst_count(cur);
+        const double issue_time = inst_count * issue_cost;
         busy += issue_time;
         clock += issue_time;
-        stats.warp_insts += op.inst_count;
-        w.ready = clock + dev_.compute_latency;
+        stats.warp_insts += inst_count;
+        w.ready = clock + compute_latency;
         w.reason = Stall::kExecutionDependency;
         break;
       }
@@ -117,7 +129,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
         busy += issue_cost;
         clock += issue_cost;
         ++stats.warp_insts;
-        w.ready = clock + dev_.shared_latency;
+        w.ready = clock + shared_latency;
         w.reason = Stall::kExecutionDependency;
         break;
       }
@@ -125,10 +137,10 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
         busy += issue_cost;
         clock += issue_cost;
         ++stats.warp_insts;
+        const Space space = wt.space(cur);
         double max_done = clock;
         double transaction_issue = clock;
-        bool throttled = false;
-        for (std::uint64_t line : op.addrs) {
+        for (std::uint64_t line : wt.addr_span(cur)) {
           // Each extra transaction of one warp instruction replays through
           // the LSU one cycle later.
           transaction_issue += 1.0;
@@ -136,34 +148,32 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
           // delay extends this op's completion; the resulting scheduler gap
           // is attributed below via the warp's stall reason.
           drain_completed_mshrs(transaction_issue);
-          if (outstanding.size() >= dev_.mshrs_per_sm) {
-            const double free_at = outstanding.top();
-            outstanding.pop();
+          if (outstanding.size() >= mshrs_per_sm) {
+            const double free_at = outstanding.front();
+            mshr_pop();
             if (free_at > transaction_issue) {
               transaction_issue = free_at;
-              throttled = true;
             }
           }
-          const MemorySystem::LoadResult r = view.load(op.space, line);
+          const MemorySystem::LoadResult r = view.load(space, line);
           ++stats.gld_transactions;
-          if (op.space == Space::kReadOnly) {
+          if (space == Space::kReadOnly) {
             r.ro_hit ? ++stats.ro_hits : ++stats.ro_misses;
           }
           if (r.l2_hit) ++stats.l2_hits;
           if (r.dram) {
             ++stats.l2_misses;
             ++outcome.dram_transactions;
-            stats.dram_bytes += dev_.dram_sector_bytes;
-            outstanding.push(transaction_issue + r.latency);
+            stats.dram_bytes += dram_sector_bytes;
+            mshr_push(transaction_issue + r.latency);
           }
           max_done = std::max(max_done, transaction_issue + r.latency);
         }
         w.ready = max_done;
         // A warp waiting on its own load's data is a memory-dependency
-        // stall in profiler terms, even when MSHR queueing (throttled)
-        // lengthened the wait — kMemoryThrottle is reserved for warps that
-        // cannot issue at all (store-queue pressure, not modeled for loads).
-        (void)throttled;
+        // stall in profiler terms, even when MSHR queueing lengthened the
+        // wait — kMemoryThrottle is reserved for warps that cannot issue at
+        // all (store-queue pressure, not modeled for loads).
         w.reason = Stall::kMemoryDependency;
         break;
       }
@@ -171,11 +181,11 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
         busy += issue_cost;
         clock += issue_cost;
         ++stats.warp_insts;
-        for (std::uint64_t line : op.addrs) {
+        for (std::uint64_t line : wt.addr_span(cur)) {
           ++stats.gst_transactions;
           if (view.store(line)) {
             ++outcome.dram_transactions;
-            stats.dram_bytes += dev_.dram_sector_bytes;
+            stats.dram_bytes += dram_sector_bytes;
           }
         }
         // Stores are fire-and-forget: no dependency latency for the warp.
@@ -188,7 +198,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
         clock += issue_cost;
         ++stats.warp_insts;
         double done = clock;
-        for (std::uint64_t addr : op.addrs) {
+        for (std::uint64_t addr : wt.addr_span(cur)) {
           done = std::max(done, view.atomic(addr, clock));
           ++stats.atomics;
         }
@@ -207,6 +217,8 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
           for (std::uint32_t idx : barrier.waiting) {
             warps[idx].parked = false;
             warps[idx].ready = barrier.max_arrival;
+            // A warp whose sync was its last op already left `remaining`.
+            if (!warps[idx].done()) q_push(barrier.max_arrival, idx);
           }
           w.ready = barrier.max_arrival;
           w.reason = Stall::kSynchronization;
@@ -223,7 +235,19 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
       }
     }
 
-    if (w.done()) --remaining;
+    if (w.done()) {
+      --remaining;
+    } else if (!w.parked) {
+      // Keep issuing from this warp while it would win the next heap pop
+      // anyway: the heap orders by (ready, index) lexicographically, so
+      // skipping the push/pop round-trip is schedule-identical whenever
+      // (w.ready, pick) precedes the current top.
+      if (ready_q.empty() ||
+          std::pair<double, std::uint32_t>{w.ready, pick} < ready_q.front()) {
+        goto issue_from_same_warp;
+      }
+      q_push(w.ready, pick);
+    }
   }
 
   stats.stalls.busy += busy;
@@ -240,15 +264,29 @@ double TimingEngine::run_wave(const std::vector<std::vector<const BlockWork*>>& 
   // Per-SM wave views and stats partials: the event loops share nothing, so
   // they can run on the pool; merging in SM order below makes the totals
   // (including the floating-point stall sums) independent of the schedule.
-  std::vector<MemorySystem::WaveView> views;
-  views.reserve(num_sms);
-  for (std::uint32_t sm = 0; sm < num_sms; ++sm) views.push_back(memory_.wave_view(sm));
-  std::vector<KernelStats> partials(num_sms);
-  std::vector<SmOutcome> outcomes(num_sms);
+  // Views, partials and scratch are pooled across waves — the view reset
+  // re-snapshots the L2 tags into the existing storage.
+  if (views_.empty()) {
+    scratch_.resize(num_sms);
+    partials_.resize(num_sms);
+    outcomes_.resize(num_sms);
+    views_.reserve(num_sms);
+    for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
+      views_.push_back(memory_.wave_view(sm));
+    }
+  } else {
+    for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
+      memory_.reset_view(views_[sm], sm);
+    }
+  }
+  for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
+    partials_[sm] = KernelStats{};
+    outcomes_[sm] = SmOutcome{};
+  }
 
   auto run_one = [&](std::size_t sm, unsigned) {
-    outcomes[sm] = run_sm(static_cast<std::uint32_t>(sm), per_sm[sm], start,
-                          partials[sm], views[sm]);
+    outcomes_[sm] = run_sm(static_cast<std::uint32_t>(sm), per_sm[sm], start,
+                           partials_[sm], views_[sm]);
   };
   if (pool != nullptr) {
     pool->parallel_for_deterministic(num_sms, run_one);
@@ -259,11 +297,11 @@ double TimingEngine::run_wave(const std::vector<std::vector<const BlockWork*>>& 
   double finish = start;
   std::uint64_t wave_dram = 0;
   for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
-    stats.merge_wave_partial(partials[sm]);
-    finish = std::max(finish, outcomes[sm].finish);
-    wave_dram += outcomes[sm].dram_transactions;
+    stats.merge_wave_partial(partials_[sm]);
+    finish = std::max(finish, outcomes_[sm].finish);
+    wave_dram += outcomes_[sm].dram_transactions;
   }
-  memory_.commit_wave(views);
+  memory_.commit_wave(views_);
 
   // DRAM bandwidth floor: the wave can't finish faster than its DRAM
   // traffic (in 32-byte sectors) can be served. Queueing behind saturated
@@ -279,7 +317,7 @@ double TimingEngine::run_wave(const std::vector<std::vector<const BlockWork*>>& 
 
   // Idle accounting: SMs that drained early, plus the scheduler-side view of
   // total issue opportunities.
-  for (const SmOutcome& o : outcomes) {
+  for (const SmOutcome& o : outcomes_) {
     const double sm_busy_until = std::max(o.finish, start);
     stats.stalls.add(Stall::kIdle, finish - sm_busy_until);
   }

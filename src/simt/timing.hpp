@@ -12,6 +12,10 @@
 /// it — producing the Fig 3(b) breakdown. A wave's duration is additionally
 /// floored by the DRAM bandwidth its transactions consumed (Fig 3(a)'s
 /// achieved-bandwidth axis).
+///
+/// All per-wave runtime state (warp/barrier tables, the MSHR heap, the
+/// per-SM wave views and stats partials) is pooled on the engine and reused
+/// across waves, so steady-state timing performs no heap allocation.
 
 #include <cstdint>
 #include <vector>
@@ -27,9 +31,12 @@ class ThreadPool;
 
 namespace speckle::simt {
 
-/// One thread block's merged warp traces, ready for timing.
+/// One thread block's merged warp traces, ready for timing. The warps
+/// vector is a grow-only pool (shrinking would free the SoA buffers the
+/// reuse depends on); the first `active` entries are this block's.
 struct BlockWork {
   std::vector<WarpTrace> warps;
+  std::uint32_t active = 0;
 };
 
 class TimingEngine {
@@ -53,11 +60,47 @@ class TimingEngine {
     std::uint64_t dram_transactions = 0;
   };
 
+  struct WarpRt {
+    const WarpTrace* trace = nullptr;
+    std::size_t cursor = 0;
+    double ready = 0.0;
+    Stall reason = Stall::kIdle;
+    std::uint32_t block_slot = 0;
+    bool parked = false;
+
+    bool done() const { return cursor >= trace->size(); }
+  };
+
+  struct BarrierRt {
+    std::uint32_t expected = 0;
+    std::uint32_t arrived = 0;
+    double max_arrival = 0.0;
+    std::vector<std::uint32_t> waiting;
+  };
+
+  /// Per-SM event-loop scratch, reused across waves. Distinct SMs use
+  /// distinct entries, so the pool-parallel loops never share one.
+  struct SmScratch {
+    std::vector<WarpRt> warps;
+    std::vector<BarrierRt> barriers;
+    std::vector<double> mshr;  ///< min-heap of outstanding miss completions
+    /// Min-heap of (ready, warp index) over runnable warps: popping yields
+    /// the earliest-ready warp, ties broken by lowest index — the same warp
+    /// the old O(warps) scan selected. Parked and finished warps are simply
+    /// absent.
+    std::vector<std::pair<double, std::uint32_t>> ready_q;
+  };
+
   SmOutcome run_sm(std::uint32_t sm, const std::vector<const BlockWork*>& blocks,
                    double start, KernelStats& stats, MemorySystem::WaveView& view);
 
   const DeviceConfig& dev_;
   MemorySystem& memory_;
+  // Pooled per-wave state (lazily sized on the first wave).
+  std::vector<SmScratch> scratch_;
+  std::vector<MemorySystem::WaveView> views_;
+  std::vector<KernelStats> partials_;
+  std::vector<SmOutcome> outcomes_;
 };
 
 }  // namespace speckle::simt

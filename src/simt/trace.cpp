@@ -1,78 +1,165 @@
 #include "simt/trace.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/check.hpp"
 
 namespace speckle::simt {
+namespace {
 
-void ThreadTrace::compute(std::uint32_t instructions) {
-  if (instructions == 0) return;
-  if (!ops_.empty() && ops_.back().kind == OpKind::kCompute &&
-      ops_.back().count + instructions <= 0xffff) {
-    ops_.back().count = static_cast<std::uint16_t>(ops_.back().count + instructions);
-    return;
-  }
-  while (instructions > 0xffff) {
-    ops_.push_back({OpKind::kCompute, Space::kGlobal, 0xffff, 0, 0});
-    instructions -= 0xffff;
-  }
-  ops_.push_back({OpKind::kCompute, Space::kGlobal,
-                  static_cast<std::uint16_t>(instructions), 0, 0});
-}
+/// Upper bound on lanes per merge (warp_size is 32 on every modeled device;
+/// the headroom keeps the scratch arrays safe for exotic configs).
+constexpr std::size_t kMaxLanes = 64;
 
-void ThreadTrace::memory(OpKind kind, Space space, std::uint64_t addr,
-                         std::uint8_t size) {
-  ops_.push_back({kind, space, 1, addr, size});
-}
+constexpr std::uint16_t kSyncKey =
+    ThreadTrace::make_key(OpKind::kSync, Space::kGlobal);
 
-void ThreadTrace::shared_access() {
-  ops_.push_back({OpKind::kSharedAccess, Space::kGlobal, 1, 0, 0});
-}
-
-void ThreadTrace::sync() {
-  ops_.push_back({OpKind::kSync, Space::kGlobal, 1, 0, 0});
-}
+}  // namespace
 
 std::vector<std::uint64_t> coalesce(std::span<const std::uint64_t> addrs,
                                     std::span<const std::uint8_t> sizes,
                                     std::uint32_t line_bytes) {
   SPECKLE_CHECK(addrs.size() == sizes.size(), "coalesce: addr/size mismatch");
-  std::vector<std::uint64_t> lines;
-  lines.reserve(addrs.size());
+  Coalescer coalescer(line_bytes);
   for (std::size_t i = 0; i < addrs.size(); ++i) {
-    const std::uint64_t first = addrs[i] / line_bytes;
-    const std::uint64_t last = (addrs[i] + sizes[i] - 1) / line_bytes;
-    for (std::uint64_t line = first; line <= last; ++line) {
-      lines.push_back(line * line_bytes);
-    }
+    coalescer.add(addrs[i], sizes[i]);
   }
-  std::sort(lines.begin(), lines.end());
-  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
-  return lines;
+  const auto lines = coalescer.lines();
+  return {lines.begin(), lines.end()};
 }
 
-WarpTrace merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes) {
+void merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes,
+                WarpTrace& out) {
   SPECKLE_CHECK(!lanes.empty(), "merge_warp: no lanes");
-  WarpTrace trace;
-  std::vector<std::size_t> cursor(lanes.size(), 0);
+  SPECKLE_CHECK(lanes.size() <= kMaxLanes, "merge_warp: too many lanes");
+  out.clear();
+  const std::size_t n = lanes.size();
+  std::array<std::uint32_t, kMaxLanes> cursor{};
+  Coalescer coalescer(line_bytes);
+  std::array<std::uint64_t, kMaxLanes> atomic_addrs;
 
-  // Scratch reused across iterations.
-  std::vector<std::uint64_t> addrs;
-  std::vector<std::uint8_t> sizes;
+  // Hoist the per-lane SoA streams: the scans and gathers below touch these
+  // small pointer arrays, not the trace objects.
+  std::array<const std::uint16_t*, kMaxLanes> keys;
+  std::array<const std::uint16_t*, kMaxLanes> cs;  // count-or-size stream
+  std::array<const std::uint64_t*, kMaxLanes> addrs;
+  std::array<std::uint32_t, kMaxLanes> len;
+  for (std::size_t l = 0; l < n; ++l) {
+    keys[l] = lanes[l].key_data();
+    cs[l] = lanes[l].cs_data();
+    addrs[l] = lanes[l].addr_data();
+    len[l] = static_cast<std::uint32_t>(lanes[l].size());
+  }
+
+  // Whole-trace fast path: when every lane ran the exact same (kind, space)
+  // sequence — the dominant case for the regular T-*/D-* kernels — the
+  // general loop below would take its converged branch every round. Decide
+  // that once with vectorized stream compares, then emit without any cursor
+  // or participation bookkeeping. Produces the identical instruction stream.
+  bool lockstep = true;
+  for (std::size_t l = 1; l < n && lockstep; ++l) {
+    lockstep = len[l] == len[0] &&
+               std::memcmp(keys[l], keys[0], len[0] * sizeof(keys[0][0])) == 0;
+  }
+  if (lockstep) {
+    const std::uint16_t active = static_cast<std::uint16_t>(n);
+    for (std::uint32_t i = 0; i < len[0]; ++i) {
+      const std::uint16_t key = keys[0][i];
+      const OpKind kind = static_cast<OpKind>(key >> 8);
+      const Space space = static_cast<Space>(key & 0xff);
+      switch (kind) {
+        case OpKind::kLoad:
+        case OpKind::kStore:
+          coalescer.reset();
+          for (std::size_t l = 0; l < n; ++l) {
+            coalescer.add(addrs[l][i], cs[l][i]);
+          }
+          out.push_op(kind, space, 1, active, coalescer.lines());
+          break;
+        case OpKind::kAtomic:
+          for (std::size_t l = 0; l < n; ++l) atomic_addrs[l] = addrs[l][i];
+          out.push_op(kind, space, 1, active, {atomic_addrs.data(), n});
+          break;
+        case OpKind::kCompute: {
+          std::uint16_t inst = 0;
+          for (std::size_t l = 0; l < n; ++l) {
+            inst = std::max(inst, cs[l][i]);
+          }
+          out.push_op(kind, space, inst, active);
+          break;
+        }
+        default:  // kSharedAccess, kSync: unit count, no addresses
+          out.push_op(kind, space, 1, active);
+          break;
+      }
+    }
+    return;
+  }
 
   for (;;) {
-    // Find the leader: the lowest lane that still has ops and is NOT parked
-    // at a barrier — kSync is an alignment fence, so divergent lanes finish
-    // their pre-barrier work first and all lanes consume the barrier as one
-    // warp instruction. Its current op's (kind, space) selects which lanes
-    // participate this round; lanes whose current op differs are on a
-    // divergent path and wait their turn.
+    // Fast path: every lane alive and at the same (kind, space) — the
+    // fully-converged case. One pass over the 2-byte key stream decides it,
+    // and the same pass's gather emits the warp instruction. (When the
+    // shared key is kSync this matches the general path too: all live lanes
+    // are at the barrier, so the sync leader would have been picked.)
+    if (cursor[0] < len[0]) {
+      const std::uint16_t key0 = keys[0][cursor[0]];
+      bool converged = true;
+      for (std::size_t l = 1; l < n; ++l) {
+        if (cursor[l] >= len[l] || keys[l][cursor[l]] != key0) {
+          converged = false;
+          break;
+        }
+      }
+      if (converged) {
+        const OpKind kind = static_cast<OpKind>(key0 >> 8);
+        const Space space = static_cast<Space>(key0 & 0xff);
+        const std::uint16_t active = static_cast<std::uint16_t>(n);
+        switch (kind) {
+          case OpKind::kLoad:
+          case OpKind::kStore:
+            coalescer.reset();
+            for (std::size_t l = 0; l < n; ++l) {
+              const std::uint32_t c = cursor[l]++;
+              coalescer.add(addrs[l][c], cs[l][c]);
+            }
+            out.push_op(kind, space, 1, active, coalescer.lines());
+            break;
+          case OpKind::kAtomic:
+            for (std::size_t l = 0; l < n; ++l) {
+              atomic_addrs[l] = addrs[l][cursor[l]++];
+            }
+            out.push_op(kind, space, 1, active, {atomic_addrs.data(), n});
+            break;
+          case OpKind::kCompute: {
+            std::uint16_t inst = 0;
+            for (std::size_t l = 0; l < n; ++l) {
+              inst = std::max(inst, cs[l][cursor[l]++]);
+            }
+            out.push_op(kind, space, inst, active);
+            break;
+          }
+          default:  // kSharedAccess, kSync: unit count, no addresses
+            for (std::size_t l = 0; l < n; ++l) ++cursor[l];
+            out.push_op(kind, space, 1, active);
+            break;
+        }
+        continue;
+      }
+    }
+
+    // General (divergent) path. Find the leader: the lowest lane that still
+    // has ops and is NOT parked at a barrier — kSync is an alignment fence,
+    // so divergent lanes finish their pre-barrier work first and all lanes
+    // consume the barrier as one warp instruction. Its current op's (kind,
+    // space) selects which lanes participate this round; lanes whose
+    // current op differs are on a divergent path and wait their turn.
     int leader = -1;
     int sync_leader = -1;
-    for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
-      if (cursor[lane] >= lanes[lane].ops().size()) continue;
-      if (lanes[lane].ops()[cursor[lane]].kind == OpKind::kSync) {
+    for (std::size_t lane = 0; lane < n; ++lane) {
+      if (cursor[lane] >= len[lane]) continue;
+      if (keys[lane][cursor[lane]] == kSyncKey) {
         if (sync_leader < 0) sync_leader = static_cast<int>(lane);
         continue;
       }
@@ -81,35 +168,42 @@ WarpTrace merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_byte
     }
     if (leader < 0) leader = sync_leader;  // every live lane is at the barrier
     if (leader < 0) break;
-    const ThreadOp& key = lanes[leader].ops()[cursor[leader]];
+    const std::uint16_t key = keys[leader][cursor[leader]];
+    const OpKind kind = static_cast<OpKind>(key >> 8);
+    const Space space = static_cast<Space>(key & 0xff);
 
-    WarpOp op;
-    op.kind = key.kind;
-    op.space = key.space;
-    op.inst_count = 0;
-    op.active_lanes = 0;
-    addrs.clear();
-    sizes.clear();
-    for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
-      if (cursor[lane] >= lanes[lane].ops().size()) continue;
-      const ThreadOp& cur = lanes[lane].ops()[cursor[lane]];
-      if (cur.kind != key.kind || cur.space != key.space) continue;
+    std::uint16_t inst = 0;
+    std::uint16_t active = 0;
+    std::size_t num_atomic = 0;
+    coalescer.reset();
+    for (std::size_t lane = 0; lane < n; ++lane) {
+      const std::uint32_t c = cursor[lane];
+      if (c >= len[lane] || keys[lane][c] != key) continue;
       ++cursor[lane];
-      ++op.active_lanes;
-      op.inst_count = std::max(op.inst_count, cur.count);
-      if (cur.kind == OpKind::kLoad || cur.kind == OpKind::kStore) {
-        addrs.push_back(cur.addr);
-        sizes.push_back(cur.size);
-      } else if (cur.kind == OpKind::kAtomic) {
-        op.addrs.push_back(cur.addr);  // atomics keep per-lane word addresses
+      ++active;
+      if (kind == OpKind::kCompute) {
+        inst = std::max(inst, cs[lane][c]);
+      } else if (kind == OpKind::kLoad || kind == OpKind::kStore) {
+        coalescer.add(addrs[lane][c], cs[lane][c]);
+      } else if (kind == OpKind::kAtomic) {
+        atomic_addrs[num_atomic++] = addrs[lane][c];
       }
     }
-    if (key.kind == OpKind::kLoad || key.kind == OpKind::kStore) {
-      op.addrs = coalesce(addrs, sizes, line_bytes);
+    if (kind != OpKind::kCompute) inst = 1;  // memory/sync ops issue once
+    if (kind == OpKind::kLoad || kind == OpKind::kStore) {
+      out.push_op(kind, space, inst, active, coalescer.lines());
+    } else if (kind == OpKind::kAtomic) {
+      out.push_op(kind, space, inst, active, {atomic_addrs.data(), num_atomic});
+    } else {
+      out.push_op(kind, space, inst, active);
     }
-    trace.ops.push_back(std::move(op));
   }
-  return trace;
+}
+
+WarpTrace merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes) {
+  WarpTrace out;
+  merge_warp(lanes, line_bytes, out);
+  return out;
 }
 
 }  // namespace speckle::simt

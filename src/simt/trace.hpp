@@ -10,12 +10,23 @@
 /// which is exactly how degree imbalance turns into SIMD underutilization
 /// on real hardware. Memory instructions are coalesced into 128-byte line
 /// transactions at merge time.
+///
+/// Hot-path layout (see docs/simulator.md §10): both trace classes are
+/// structure-of-arrays with capacity retained across clear(), so the
+/// execute→merge→time pipeline performs zero heap allocation in steady
+/// state. The merge participation scan touches only the 2-byte (kind,
+/// space) key stream — one cache line covers a whole warp — and memory
+/// instructions stream through a fixed-size Coalescer scratch instead of
+/// building intermediate per-lane vectors.
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
 #include "simt/config.hpp"
+#include "support/check.hpp"
 
 namespace speckle::simt {
 
@@ -33,54 +44,263 @@ enum class Space : std::uint8_t {
   kReadOnly,     ///< __ldg path (DRAM -> L2 -> per-SM read-only cache)
 };
 
-/// One dynamic operation of one thread.
+/// One dynamic operation of one thread, as materialized from the SoA
+/// storage (tests and slow paths; the hot loops read the arrays directly).
+/// Layout-packed: the address leads so the struct needs no internal padding.
 struct ThreadOp {
+  std::uint64_t addr;   ///< device address (memory ops)
+  std::uint16_t count;  ///< compute: #instructions; others: 1
   OpKind kind;
   Space space;
-  std::uint16_t count;  ///< compute: #instructions; others: 1
-  std::uint64_t addr;   ///< device address (memory ops)
   std::uint8_t size;    ///< access bytes (memory ops)
 };
+static_assert(sizeof(ThreadOp) <= 16, "ThreadOp must stay register-friendly");
 
 /// Append-only per-thread trace; adjacent compute ops are merged.
+/// Structure-of-arrays: the merge inner loops scan the 2-byte key stream
+/// (kind<<8 | space) without dragging addresses through the cache.
+/// clear() retains capacity, so a trace owned by an executor arena stops
+/// allocating once warm.
 class ThreadTrace {
  public:
-  void compute(std::uint32_t instructions);
-  void memory(OpKind kind, Space space, std::uint64_t addr, std::uint8_t size);
-  void shared_access();
-  void sync();
+  static constexpr std::uint16_t make_key(OpKind kind, Space space) {
+    return static_cast<std::uint16_t>((static_cast<std::uint16_t>(kind) << 8) |
+                                      static_cast<std::uint16_t>(space));
+  }
 
-  std::span<const ThreadOp> ops() const { return ops_; }
-  bool empty() const { return ops_.empty(); }
-  void clear() { ops_.clear(); }
+  // The append methods are header-defined: functional execution calls them
+  // once per dynamic instruction (hundreds of millions per bench run), so
+  // they must inline into the kernel lambdas.
+  void compute(std::uint32_t instructions) {
+    if (instructions == 0) return;
+    constexpr std::uint16_t compute_key = make_key(OpKind::kCompute, Space::kGlobal);
+    if (!key_.empty() && key_.back() == compute_key &&
+        cs_.back() + instructions <= 0xffff) {
+      cs_.back() = static_cast<std::uint16_t>(cs_.back() + instructions);
+      return;
+    }
+    while (instructions > 0xffff) {
+      push(compute_key, 0xffff, 0);
+      instructions -= 0xffff;
+    }
+    push(compute_key, static_cast<std::uint16_t>(instructions), 0);
+  }
+  void memory(OpKind kind, Space space, std::uint64_t addr, std::uint8_t size) {
+    push(make_key(kind, space), size, addr);
+  }
+  void shared_access() {
+    push(make_key(OpKind::kSharedAccess, Space::kGlobal), 0, 0);
+  }
+  void sync() { push(make_key(OpKind::kSync, Space::kGlobal), 0, 0); }
+
+  std::size_t size() const { return key_.size(); }
+  bool empty() const { return key_.empty(); }
+  void clear() {
+    key_.clear();
+    cs_.clear();
+    addr_.clear();
+  }
+
+  std::uint16_t key(std::size_t i) const { return key_[i]; }
+  /// Raw streams for the merge loops (hoisted out of the per-round scans).
+  /// `cs` is the overlaid count-or-size stream: a compute op's instruction
+  /// count, a memory op's access width in bytes — the two are never
+  /// meaningful for the same op, so one append covers both.
+  const std::uint16_t* key_data() const { return key_.data(); }
+  const std::uint16_t* cs_data() const { return cs_.data(); }
+  const std::uint64_t* addr_data() const { return addr_.data(); }
+  std::uint16_t count(std::size_t i) const {
+    return kind(i) == OpKind::kCompute ? cs_[i] : 1;
+  }
+  std::uint64_t addr(std::size_t i) const { return addr_[i]; }
+  std::uint8_t access_size(std::size_t i) const {
+    return kind(i) == OpKind::kCompute ? 0 : static_cast<std::uint8_t>(cs_[i]);
+  }
+  OpKind kind(std::size_t i) const { return static_cast<OpKind>(key_[i] >> 8); }
+  Space space(std::size_t i) const {
+    return static_cast<Space>(key_[i] & 0xff);
+  }
+
+  /// Materialize op `i` (tests, diagnostics).
+  ThreadOp op(std::size_t i) const {
+    return {addr_[i], count(i), kind(i), space(i), access_size(i)};
+  }
 
  private:
-  std::vector<ThreadOp> ops_;
+  void push(std::uint16_t key, std::uint16_t cs, std::uint64_t addr) {
+    key_.push_back(key);
+    cs_.push_back(cs);
+    addr_.push_back(addr);
+  }
+
+  std::vector<std::uint16_t> key_;
+  std::vector<std::uint16_t> cs_;   ///< compute: #instructions; memory: bytes
+  std::vector<std::uint64_t> addr_;
 };
 
-/// One SIMT instruction of a warp (post-merge, post-coalescing).
-struct WarpOp {
+/// Streams lane addresses (each `size` bytes wide) into a sorted,
+/// deduplicated set of line addresses using a fixed-size scratch array —
+/// no allocation, and O(1) per access in the common case where warp
+/// addresses arrive in ascending order. Produces exactly the sequence the
+/// old sort+unique implementation did.
+class Coalescer {
+ public:
+  explicit Coalescer(std::uint32_t line_bytes) : line_bytes_(line_bytes) {
+    // Every modeled device uses a power-of-two line; precompute the shift so
+    // the per-lane line split below is two shifts instead of two 64-bit
+    // divisions (the merge loop performs hundreds of millions of adds).
+    SPECKLE_CHECK(line_bytes != 0 && (line_bytes & (line_bytes - 1)) == 0,
+                  "coalescing granularity must be a power of two");
+    while ((1u << line_shift_) < line_bytes) ++line_shift_;
+  }
+
+  void reset() { n_ = 0; }
+
+  void add(std::uint64_t addr, std::uint32_t size) {
+    const std::uint64_t first = addr >> line_shift_;
+    const std::uint64_t last = (addr + size - 1) >> line_shift_;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      insert(line << line_shift_);
+    }
+  }
+
+  std::span<const std::uint64_t> lines() const { return {lines_.data(), n_}; }
+
+ private:
+  void insert(std::uint64_t line) {
+    if (n_ > 0 && lines_[n_ - 1] == line) return;  // repeat of the last line
+    if (n_ == 0 || line > lines_[n_ - 1]) {        // ascending: append
+      SPECKLE_CHECK(n_ < kCapacity, "coalescer scratch overflow");
+      lines_[n_++] = line;
+      return;
+    }
+    // Out-of-order lane: binary search for the slot, skip duplicates.
+    // (A predicated branchless search plus memmove was tried and measured
+    // 2x slower here: the branchy search lets the core speculate the next
+    // probe instead of serializing the load chain.)
+    std::size_t lo = 0, hi = n_;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (lines_[mid] < line) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < n_ && lines_[lo] == line) return;
+    SPECKLE_CHECK(n_ < kCapacity, "coalescer scratch overflow");
+    for (std::size_t i = n_; i > lo; --i) lines_[i] = lines_[i - 1];
+    lines_[lo] = line;
+    ++n_;
+  }
+
+  /// 32 lanes x up to 3 lines each (a 255-byte access can straddle two
+  /// 128-byte boundaries) with headroom.
+  static constexpr std::size_t kCapacity = 128;
+  std::array<std::uint64_t, kCapacity> lines_{};
+  std::size_t n_ = 0;
+  std::uint32_t line_bytes_;
+  std::uint32_t line_shift_ = 0;  ///< log2(line_bytes)
+};
+
+/// One SIMT instruction of a warp, viewed out of the SoA WarpTrace.
+struct WarpOpView {
   OpKind kind;
   Space space;
   std::uint16_t inst_count;   ///< compute: max instruction count over lanes
   std::uint16_t active_lanes;
   /// Memory ops: coalesced 128-byte line addresses.
   /// Atomics: the per-lane word addresses (serialization is per address).
-  std::vector<std::uint64_t> addrs;
+  std::span<const std::uint64_t> addrs;
 };
 
-struct WarpTrace {
-  std::vector<WarpOp> ops;
+/// A warp's merged instruction stream. Structure-of-arrays with one shared
+/// address pool: no per-instruction vectors, and clear() retains every
+/// buffer so a BlockWork slot reused across waves stops allocating.
+class WarpTrace {
+ public:
+  std::size_t size() const { return meta_.size(); }
+  bool empty() const { return meta_.empty(); }
+  std::uint64_t instruction_count() const { return size(); }
 
-  std::uint64_t instruction_count() const { return ops.size(); }
+  void clear() {
+    meta_.clear();
+    lanes_.clear();
+    addrs_.clear();
+    syncs_ = 0;
+  }
+
+  /// Append one instruction with its (possibly empty) address list.
+  void push_op(OpKind kind, Space space, std::uint16_t inst_count,
+               std::uint16_t active_lanes,
+               std::span<const std::uint64_t> addrs = {}) {
+    meta_.push_back(pack_meta(kind, space, inst_count,
+                              static_cast<std::uint32_t>(addrs_.size())));
+    lanes_.push_back(active_lanes);
+    addrs_.insert(addrs_.end(), addrs.begin(), addrs.end());
+    syncs_ += kind == OpKind::kSync;
+  }
+
+  OpKind kind(std::size_t i) const {
+    return static_cast<OpKind>(meta_[i] & 0xff);
+  }
+
+  /// Number of kSync ops, maintained at append time so the timing engine's
+  /// barrier setup does not rescan every trace each wave.
+  std::uint32_t sync_count() const { return syncs_; }
+
+  // Field accessors for the timing event loop: it switches on kind(i) first
+  // and then reads only what that op kind consumes. kind, space, inst count
+  // and address offset are packed into one 64-bit meta word so the loop
+  // touches a single stream per op regardless of which fields it needs
+  // (active_lanes lives in a cold side array — timing never reads it).
+  Space space(std::size_t i) const {
+    return static_cast<Space>((meta_[i] >> 8) & 0xff);
+  }
+  std::uint16_t inst_count(std::size_t i) const {
+    return static_cast<std::uint16_t>(meta_[i] >> 16);
+  }
+  std::span<const std::uint64_t> addr_span(std::size_t i) const {
+    const std::size_t begin = meta_[i] >> 32;
+    const std::size_t end =
+        i + 1 < meta_.size() ? meta_[i + 1] >> 32 : addrs_.size();
+    return {addrs_.data() + begin, end - begin};
+  }
+
+  WarpOpView op(std::size_t i) const {
+    return {kind(i), space(i), inst_count(i), lanes_[i], addr_span(i)};
+  }
+
+ private:
+  /// [63:32] offset into addrs_, [31:16] inst count, [15:8] space, [7:0] kind.
+  static constexpr std::uint64_t pack_meta(OpKind kind, Space space,
+                                           std::uint16_t inst_count,
+                                           std::uint32_t addr_begin) {
+    return static_cast<std::uint64_t>(addr_begin) << 32 |
+           static_cast<std::uint64_t>(inst_count) << 16 |
+           static_cast<std::uint64_t>(space) << 8 |
+           static_cast<std::uint64_t>(kind);
+  }
+
+  std::vector<std::uint64_t> meta_;   ///< packed per-op hot fields
+  std::vector<std::uint16_t> lanes_;  ///< active lanes (stats/tests only)
+  std::vector<std::uint64_t> addrs_;  ///< shared address pool
+  std::uint32_t syncs_ = 0;           ///< running count of kSync ops
 };
 
-/// Merge up to warp_size per-lane traces into a warp trace.
-/// `line_bytes` is the coalescing granularity.
+/// Merge up to warp_size per-lane traces into `out` (cleared first).
+/// `line_bytes` is the coalescing granularity. Fully-converged rounds —
+/// every lane alive and at the same (kind, space), the overwhelmingly
+/// common case for the T-*/D-* kernels — take a single-pass fast path.
+void merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes,
+                WarpTrace& out);
+
+/// Convenience wrapper for tests.
 WarpTrace merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes);
 
 /// Coalesce lane addresses (each `size` bytes wide) into distinct line
-/// addresses. Exposed for direct testing.
+/// addresses. Exposed for direct testing; the merge hot path streams
+/// through a Coalescer instead.
 std::vector<std::uint64_t> coalesce(std::span<const std::uint64_t> addrs,
                                     std::span<const std::uint8_t> sizes,
                                     std::uint32_t line_bytes);

@@ -9,12 +9,17 @@ namespace {
 
 using namespace speckle::simt;
 
+// The per-thread op must stay register-friendly: the SoA storage packs it
+// into parallel arrays, and the materialized view must not regress past
+// 16 bytes (addr + count + kind + space + size).
+static_assert(sizeof(ThreadOp) <= 16, "ThreadOp exceeds 16 bytes");
+
 TEST(ThreadTrace, AdjacentComputeOpsMerge) {
   ThreadTrace trace;
   trace.compute(3);
   trace.compute(4);
-  ASSERT_EQ(trace.ops().size(), 1U);
-  EXPECT_EQ(trace.ops()[0].count, 7U);
+  ASSERT_EQ(trace.size(), 1U);
+  EXPECT_EQ(trace.op(0).count, 7U);
 }
 
 TEST(ThreadTrace, MemoryBreaksComputeMerging) {
@@ -22,13 +27,28 @@ TEST(ThreadTrace, MemoryBreaksComputeMerging) {
   trace.compute(1);
   trace.memory(OpKind::kLoad, Space::kGlobal, 0, 4);
   trace.compute(1);
-  EXPECT_EQ(trace.ops().size(), 3U);
+  EXPECT_EQ(trace.size(), 3U);
 }
 
 TEST(ThreadTrace, ZeroComputeIsDropped) {
   ThreadTrace trace;
   trace.compute(0);
   EXPECT_TRUE(trace.empty());
+}
+
+TEST(ThreadTrace, ComputeMergingSurvivesClearReuse) {
+  // clear() retains the SoA buffers (arena reuse); merging must behave
+  // identically on the second use of the same trace object.
+  ThreadTrace trace;
+  trace.compute(3);
+  trace.memory(OpKind::kLoad, Space::kGlobal, 0, 4);
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+  trace.compute(5);
+  trace.compute(6);
+  ASSERT_EQ(trace.size(), 1U);
+  EXPECT_EQ(trace.op(0).count, 11U);
+  EXPECT_EQ(trace.op(0).kind, OpKind::kCompute);
 }
 
 TEST(Coalesce, SameLineCollapsesToOneTransaction) {
@@ -58,15 +78,35 @@ TEST(Coalesce, AccessStraddlingLineTakesTwo) {
   EXPECT_EQ(lines[1], 128U);
 }
 
+TEST(Coalescer, OutOfOrderAddressesMatchSortUnique) {
+  // The streaming coalescer must emit the same sorted-unique line set the
+  // old sort+unique implementation produced, whatever the lane order.
+  Coalescer co(128);
+  const std::uint64_t addrs[] = {512, 0, 256, 0, 768, 260};
+  for (std::uint64_t a : addrs) co.add(a, 4);
+  const auto lines = co.lines();
+  ASSERT_EQ(lines.size(), 4U);
+  EXPECT_EQ(lines[0], 0U);
+  EXPECT_EQ(lines[1], 256U);
+  EXPECT_EQ(lines[2], 512U);
+  EXPECT_EQ(lines[3], 768U);
+
+  co.reset();
+  EXPECT_TRUE(co.lines().empty());
+  co.add(128, 4);
+  ASSERT_EQ(co.lines().size(), 1U);
+  EXPECT_EQ(co.lines()[0], 128U);
+}
+
 TEST(MergeWarp, UniformLanesFormOneInstruction) {
   std::vector<ThreadTrace> lanes(4);
   for (std::size_t l = 0; l < 4; ++l) {
     lanes[l].memory(OpKind::kLoad, Space::kGlobal, l * 4, 4);
   }
   const WarpTrace warp = merge_warp(lanes, 128);
-  ASSERT_EQ(warp.ops.size(), 1U);
-  EXPECT_EQ(warp.ops[0].active_lanes, 4U);
-  EXPECT_EQ(warp.ops[0].addrs.size(), 1U);  // coalesced to one line
+  ASSERT_EQ(warp.size(), 1U);
+  EXPECT_EQ(warp.op(0).active_lanes, 4U);
+  EXPECT_EQ(warp.op(0).addrs.size(), 1U);  // coalesced to one line
 }
 
 TEST(MergeWarp, ShorterLanesDropOut) {
@@ -75,10 +115,10 @@ TEST(MergeWarp, ShorterLanesDropOut) {
   for (int i = 0; i < 3; ++i) lanes[0].memory(OpKind::kLoad, Space::kGlobal, i * 256, 4);
   lanes[1].memory(OpKind::kLoad, Space::kGlobal, 4096, 4);
   const WarpTrace warp = merge_warp(lanes, 128);
-  ASSERT_EQ(warp.ops.size(), 3U);
-  EXPECT_EQ(warp.ops[0].active_lanes, 2U);
-  EXPECT_EQ(warp.ops[1].active_lanes, 1U);
-  EXPECT_EQ(warp.ops[2].active_lanes, 1U);
+  ASSERT_EQ(warp.size(), 3U);
+  EXPECT_EQ(warp.op(0).active_lanes, 2U);
+  EXPECT_EQ(warp.op(1).active_lanes, 1U);
+  EXPECT_EQ(warp.op(2).active_lanes, 1U);
 }
 
 TEST(MergeWarp, DivergentKindsSerialize) {
@@ -86,9 +126,9 @@ TEST(MergeWarp, DivergentKindsSerialize) {
   lanes[0].compute(2);
   lanes[1].memory(OpKind::kLoad, Space::kGlobal, 0, 4);
   const WarpTrace warp = merge_warp(lanes, 128);
-  ASSERT_EQ(warp.ops.size(), 2U);
-  EXPECT_EQ(warp.ops[0].kind, OpKind::kCompute);
-  EXPECT_EQ(warp.ops[1].kind, OpKind::kLoad);
+  ASSERT_EQ(warp.size(), 2U);
+  EXPECT_EQ(warp.op(0).kind, OpKind::kCompute);
+  EXPECT_EQ(warp.op(1).kind, OpKind::kLoad);
 }
 
 TEST(MergeWarp, SpacesDoNotMix) {
@@ -96,8 +136,8 @@ TEST(MergeWarp, SpacesDoNotMix) {
   lanes[0].memory(OpKind::kLoad, Space::kGlobal, 0, 4);
   lanes[1].memory(OpKind::kLoad, Space::kReadOnly, 0, 4);
   const WarpTrace warp = merge_warp(lanes, 128);
-  ASSERT_EQ(warp.ops.size(), 2U);
-  EXPECT_NE(warp.ops[0].space, warp.ops[1].space);
+  ASSERT_EQ(warp.size(), 2U);
+  EXPECT_NE(warp.op(0).space, warp.op(1).space);
 }
 
 TEST(MergeWarp, ComputeTakesMaxCount) {
@@ -105,8 +145,8 @@ TEST(MergeWarp, ComputeTakesMaxCount) {
   lanes[0].compute(3);
   lanes[1].compute(9);
   const WarpTrace warp = merge_warp(lanes, 128);
-  ASSERT_EQ(warp.ops.size(), 1U);
-  EXPECT_EQ(warp.ops[0].inst_count, 9U);
+  ASSERT_EQ(warp.size(), 1U);
+  EXPECT_EQ(warp.op(0).inst_count, 9U);
 }
 
 TEST(MergeWarp, AtomicsKeepPerLaneAddresses) {
@@ -115,8 +155,8 @@ TEST(MergeWarp, AtomicsKeepPerLaneAddresses) {
     lanes[l].memory(OpKind::kAtomic, Space::kGlobal, 64, 4);  // same word
   }
   const WarpTrace warp = merge_warp(lanes, 128);
-  ASSERT_EQ(warp.ops.size(), 1U);
-  EXPECT_EQ(warp.ops[0].addrs.size(), 3U);  // not coalesced: serialization
+  ASSERT_EQ(warp.size(), 1U);
+  EXPECT_EQ(warp.op(0).addrs.size(), 3U);  // not coalesced: serialization
 }
 
 TEST(MergeWarp, SyncActsAsAlignmentFence) {
@@ -130,14 +170,34 @@ TEST(MergeWarp, SyncActsAsAlignmentFence) {
   lanes[1].sync();
   const WarpTrace warp = merge_warp(lanes, 128);
   std::size_t sync_count = 0;
-  for (const WarpOp& op : warp.ops) {
+  for (std::size_t i = 0; i < warp.size(); ++i) {
+    const WarpOpView op = warp.op(i);
     if (op.kind == OpKind::kSync) {
       ++sync_count;
       EXPECT_EQ(op.active_lanes, 2U);
     }
   }
   EXPECT_EQ(sync_count, 1U);
-  EXPECT_EQ(warp.ops.back().kind, OpKind::kSync);
+  EXPECT_EQ(warp.op(warp.size() - 1).kind, OpKind::kSync);
+}
+
+TEST(MergeWarp, ReusedOutputIsClearedFirst) {
+  // merge_warp(out) must clear but not free: a BlockWork slot reused across
+  // waves sees only the new block's instructions.
+  std::vector<ThreadTrace> lanes(2);
+  lanes[0].memory(OpKind::kLoad, Space::kGlobal, 0, 4);
+  lanes[1].memory(OpKind::kLoad, Space::kGlobal, 4, 4);
+  WarpTrace out;
+  merge_warp(lanes, 128, out);
+  ASSERT_EQ(out.size(), 1U);
+
+  for (ThreadTrace& lane : lanes) lane.clear();
+  lanes[0].compute(2);
+  lanes[1].compute(2);
+  merge_warp(lanes, 128, out);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out.op(0).kind, OpKind::kCompute);
+  EXPECT_TRUE(out.op(0).addrs.empty());
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""A/B benchmark harness emitting the repo's BENCH_*.json schema.
+
+Runs a bench command (typically one of the bench_* binaries) against a
+baseline build of the same bench and writes a JSON record in the shape of
+BENCH_executor.json / BENCH_hotpath.json: benchmark, machine, before/after
+numbers, free-form notes.
+
+The two commands are run in interleaved pairs (baseline, candidate,
+baseline, candidate, ...) so slow drift of a shared/noisy host hits both
+sides equally; per-run user CPU time is recorded alongside wall time
+because on oversubscribed CI hosts user time is the steadier signal. The
+minimum across repeats is reported as the headline number (least
+contaminated by other tenants), with all samples kept in the record.
+
+Examples:
+  # A/B two builds of the same bench:
+  tools/bench_compare.py \
+      --baseline .oldtree/build/bench/bench_fig7 \
+      --bench build/bench/bench_fig7 \
+      --args "--denom=8 --threads=1 --csv" \
+      --label-before "main @ 0656f99" --label-after "hot-path overhaul" \
+      --repeats 3 --out BENCH_hotpath.json
+
+  # Re-use the 'before' numbers from a saved record:
+  tools/bench_compare.py --against BENCH_hotpath.json \
+      --bench build/bench/bench_fig7 --args "--denom=8 --threads=1" \
+      --label-after "tuned merge" --out BENCH_hotpath2.json
+"""
+
+import argparse
+import json
+import os
+import platform
+import resource
+import shlex
+import subprocess
+import sys
+import time
+
+
+def run_once(cmd):
+    """Run cmd discarding output; return (wall_s, user_s) for the child."""
+    before = resource.getrusage(resource.RUSAGE_CHILDREN)
+    t0 = time.monotonic()
+    proc = subprocess.run(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, check=False
+    )
+    wall = time.monotonic() - t0
+    after = resource.getrusage(resource.RUSAGE_CHILDREN)
+    if proc.returncode != 0:
+        sys.exit(f"bench_compare: {' '.join(cmd)} exited {proc.returncode}")
+    return round(wall, 3), round(after.ru_utime - before.ru_utime, 3)
+
+
+def measure(label, samples):
+    walls = [s[0] for s in samples]
+    users = [s[1] for s in samples]
+    return {
+        "commit": label,
+        "wall_s": min(walls),
+        "user_s": min(users),
+        "wall_samples_s": walls,
+        "user_samples_s": users,
+    }
+
+
+def machine_summary():
+    cores = os.cpu_count() or 1
+    cc = ""
+    try:
+        out = subprocess.run(
+            ["c++", "--version"], capture_output=True, text=True, check=False
+        ).stdout
+        cc = out.splitlines()[0] if out else ""
+    except OSError:
+        pass
+    return f"{platform.system()} {platform.machine()}, {cores} core(s), {cc}".strip(", ")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True, help="candidate bench binary")
+    ap.add_argument("--baseline", help="baseline bench binary (before)")
+    ap.add_argument("--against", help="saved BENCH_*.json to take 'before' from")
+    ap.add_argument("--args", default="", help="arguments passed to both binaries")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--label-before", default="baseline")
+    ap.add_argument("--label-after", default="candidate")
+    ap.add_argument("--note", action="append", default=[], help="repeatable")
+    ap.add_argument("--out", help="output JSON path (default: stdout)")
+    opts = ap.parse_args()
+    if bool(opts.baseline) == bool(opts.against):
+        ap.error("exactly one of --baseline / --against is required")
+
+    bench_args = shlex.split(opts.args)
+    after_cmd = [opts.bench] + bench_args
+    before_cmd = [opts.baseline] + bench_args if opts.baseline else None
+
+    before_samples, after_samples = [], []
+    for i in range(opts.repeats):
+        if before_cmd:
+            before_samples.append(run_once(before_cmd))
+            print(f"pair {i + 1}/{opts.repeats} before: "
+                  f"wall {before_samples[-1][0]}s user {before_samples[-1][1]}s",
+                  file=sys.stderr)
+        after_samples.append(run_once(after_cmd))
+        print(f"pair {i + 1}/{opts.repeats} after:  "
+              f"wall {after_samples[-1][0]}s user {after_samples[-1][1]}s",
+              file=sys.stderr)
+
+    if opts.against:
+        with open(opts.against) as f:
+            before = json.load(f)["before"]
+    else:
+        before = measure(opts.label_before, before_samples)
+
+    record = {
+        "benchmark": f"{os.path.basename(opts.bench)} {opts.args}".strip(),
+        "machine": machine_summary(),
+        "before": before,
+        "after": measure(opts.label_after, after_samples),
+        "notes": opts.note,
+    }
+    if isinstance(before.get("wall_s"), (int, float)) and record["after"]["wall_s"]:
+        record["speedup_wall"] = round(before["wall_s"] / record["after"]["wall_s"], 2)
+        if isinstance(before.get("user_s"), (int, float)):
+            record["speedup_user"] = round(
+                before["user_s"] / record["after"]["user_s"], 2
+            )
+
+    text = json.dumps(record, indent=2) + "\n"
+    if opts.out:
+        with open(opts.out, "w") as f:
+            f.write(text)
+        print(f"wrote {opts.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+
+
+if __name__ == "__main__":
+    main()
