@@ -14,6 +14,7 @@ coloring::RunOptions BenchContext::run_options() const {
   opts.block_size = block;
   opts.seed = seed;
   opts.device.host_threads = threads;
+  opts.device.profile = profile;
   if (denom > 1) opts.scale_caches(denom);
   return opts;
 }
@@ -26,6 +27,7 @@ BenchContext parse_context(int argc, char** argv,
   ctx.block = static_cast<std::uint32_t>(opts.get_int("block", 128));
   ctx.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   ctx.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
+  ctx.profile = opts.get_bool("profile", false);
   ctx.csv = opts.get_bool("csv", false);
 
   const std::string graphs = opts.get_string("graphs", "");
@@ -40,8 +42,8 @@ BenchContext parse_context(int argc, char** argv,
     }
   }
 
-  std::vector<std::string> known = {"denom", "block", "seed", "threads", "csv",
-                                    "graphs"};
+  std::vector<std::string> known = {"denom", "block", "seed", "threads",
+                                    "profile", "csv", "graphs"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   opts.validate(known);
   return ctx;

@@ -12,6 +12,8 @@
 ///   --threads=N  host threads for the simulator's wave executor (0 = one
 ///                per hardware thread, the default). Results are
 ///                bit-identical for every value; only wall-clock changes.
+///   --profile    run the schemes under the speckle::prof profiling layer
+///                (benches that support it print a counter summary)
 ///   --csv        emit CSV after the human-readable table
 
 #include <string>
@@ -29,6 +31,7 @@ struct BenchContext {
   std::uint32_t block = 128;
   std::uint64_t seed = 1;
   std::uint32_t threads = 0;  ///< simulator host threads; 0 = hardware
+  bool profile = false;       ///< enable DeviceConfig::profile
   bool csv = false;
   std::vector<std::string> graphs;  ///< suite names, Table I order
 

@@ -40,6 +40,12 @@ int main(int argc, char** argv) {
   std::map<Scheme, std::vector<double>> speedups;
   std::ostringstream cycles_out;
   cycles_out << "graph,scheme,colors,iterations,gpu model ms\n";
+  // --profile: per-scheme counter summary of the mechanisms behind the
+  // speedups — RO-cache hit rate and DRAM transactions (the __ldg story)
+  // and worklist-tail atomics per pushing block (the scan-push story).
+  std::ostringstream prof_out;
+  prof_out << "graph,scheme,ro_hit_rate,gld_txn,ldg_txn,dram_txn,"
+              "tail_atomics,push_blocks,tail_atomics_per_block\n";
   const coloring::RunOptions opts = ctx.run_options();
   for (const std::string& name : ctx.graphs) {
     const graph::CsrGraph& g = bench::get_graph(ctx, name);
@@ -61,6 +67,41 @@ int main(int argc, char** argv) {
       } else {
         cycles_out << std::fixed << std::setprecision(6) << r.model_ms << "\n";
       }
+      if (ctx.profile) {
+        std::uint64_t ro_h = 0, ro_m = 0, gld = 0, ldg = 0, dram = 0;
+        std::uint64_t tail_atomics = 0, push_blocks = 0;
+        for (const auto& lp : r.prof.launches) {
+          ro_h += lp.ro_hits;
+          ro_m += lp.ro_misses;
+          gld += lp.ld_transactions;
+          ldg += lp.ldg_transactions;
+          dram += lp.dram_transactions();
+          std::uint64_t launch_tail = 0;
+          for (const auto& bc : lp.buffers) {
+            if (bc.name.size() >= 5 &&
+                bc.name.compare(bc.name.size() - 5, 5, ".tail") == 0) {
+              launch_tail += bc.atomics;
+            }
+          }
+          if (launch_tail > 0) {
+            tail_atomics += launch_tail;
+            push_blocks += lp.blocks;  // only kernels that push count
+          }
+        }
+        prof_out << name << "," << scheme_name(s) << "," << std::fixed
+                 << std::setprecision(4)
+                 << (ro_h + ro_m > 0
+                         ? static_cast<double>(ro_h) / (ro_h + ro_m)
+                         : 0.0)
+                 << "," << gld << "," << ldg << "," << dram << ","
+                 << tail_atomics << "," << push_blocks << ",";
+        if (push_blocks > 0) {
+          prof_out << std::setprecision(2)
+                   << static_cast<double>(tail_atomics) / push_blocks << "\n";
+        } else {
+          prof_out << "-\n";
+        }
+      }
     }
   }
   table.row().cell("geomean").cell("-");
@@ -73,6 +114,9 @@ int main(int argc, char** argv) {
                "G3_circuit.\n";
   if (cycles) {
     std::cout << "--- cycles ---\n" << cycles_out.str();
+  }
+  if (ctx.profile) {
+    std::cout << "--- profile ---\n" << prof_out.str();
   }
   return 0;
 }

@@ -19,8 +19,8 @@ void BM_SimCoalescedCopy(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
     Device dev;
-    auto src = dev.alloc<std::uint32_t>(n);
-    auto dst = dev.alloc<std::uint32_t>(n);
+    auto src = dev.alloc<std::uint32_t>(n, "src");
+    auto dst = dev.alloc<std::uint32_t>(n, "dst");
     dev.launch({.grid_blocks = n / 128, .block_threads = 128}, "copy",
                [&](Thread& t) {
                  const auto i = t.global_id();
@@ -36,8 +36,8 @@ void BM_SimScatteredGather(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
     Device dev;
-    auto idx = dev.alloc<std::uint32_t>(n);
-    auto dst = dev.alloc<std::uint32_t>(n);
+    auto idx = dev.alloc<std::uint32_t>(n, "idx");
+    auto dst = dev.alloc<std::uint32_t>(n, "dst");
     for (std::uint32_t i = 0; i < n; ++i) idx[i] = (i * 2654435761U) % n;
     dev.launch({.grid_blocks = n / 128, .block_threads = 128}, "gather",
                [&](Thread& t) {

@@ -21,6 +21,7 @@ void finish_gpu_result(GpuResult& result, const simt::Device& dev,
   result.model_ms = result.report.ms(dev.config());
   result.wall_ms = wall.milliseconds();
   result.san = dev.san_report();
+  result.prof = dev.prof_report();
 }
 
 color_t device_first_fit(simt::Thread& t, const DeviceGraph& dg,

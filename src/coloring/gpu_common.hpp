@@ -44,6 +44,8 @@ struct GpuResult {
   double wall_ms = 0.0;       ///< host wall clock of the simulation itself
   san::Report san;      ///< sanitizer findings (empty unless
                               ///< GpuOptions::device.sanitize was set)
+  prof::Report prof;    ///< profiler counters/timeline (empty unless
+                              ///< GpuOptions::device.profile was set)
 };
 
 /// Fill the result fields every scheme reports identically: the device

@@ -108,6 +108,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.iterations = r.iterations;
       result.report = std::move(r.report);
       result.san = std::move(r.san);
+      result.prof = std::move(r.prof);
       break;
     }
     case Scheme::kTopoBase:
@@ -119,6 +120,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.iterations = r.iterations;
       result.report = std::move(r.report);
       result.san = std::move(r.san);
+      result.prof = std::move(r.prof);
       break;
     }
     case Scheme::kDataBase:
@@ -137,6 +139,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.iterations = r.iterations;
       result.report = std::move(r.report);
       result.san = std::move(r.san);
+      result.prof = std::move(r.prof);
       break;
     }
     case Scheme::kCsrColor:
@@ -155,6 +158,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.iterations = r.iterations;
       result.report = std::move(r.report);
       result.san = std::move(r.san);
+      result.prof = std::move(r.prof);
       break;
     }
     case Scheme::kJonesPlassmann: {

@@ -66,6 +66,8 @@ struct RunResult {
   simt::DeviceReport report;  ///< empty for CPU schemes
   san::Report san;      ///< sanitizer findings (empty for CPU schemes
                               ///< or when RunOptions::device.sanitize is off)
+  prof::Report prof;    ///< profiler counters/timeline (empty for CPU
+                              ///< schemes or when device.profile is off)
 };
 
 /// Run one scheme on one graph. Aborts if the scheme produced an improper

@@ -66,6 +66,14 @@ struct DeviceConfig {
   /// Off by default — sanitizing costs roughly 2x functional execution.
   bool sanitize = false;
 
+  /// Enable the speckle::prof profiling layer (src/prof): per-launch
+  /// hardware-counter-style metrics (cache hit rates, DRAM transactions,
+  /// coalescing efficiency, per-buffer atomics, divergence, stalls) plus an
+  /// SM/wave timeline for Chrome-trace export. Reports are bit-identical at
+  /// every host_threads value. Off by default; when off, no per-access cost
+  /// is added anywhere.
+  bool profile = false;
+
   /// Peak DRAM bytes per core cycle (used for bandwidth capping and the
   /// achieved-bandwidth metric of Fig 3).
   double dram_bytes_per_cycle() const {

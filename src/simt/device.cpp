@@ -60,6 +60,9 @@ Device::Device(DeviceConfig config)
   if (config_.sanitize) {
     san_ = std::make_unique<san::Sanitizer>(config_.line_bytes);
   }
+  if (config_.profile) {
+    prof_ = std::make_unique<prof::Profiler>(config_);
+  }
 }
 
 Device::~Device() = default;
@@ -277,7 +280,7 @@ void Device::execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& p
   bstate.san = nullptr;
 }
 
-void Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
+bool Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
                           std::uint32_t block, std::uint32_t warps_per_block,
                           BlockResult& result, BlockWork& work) {
   // Validate the speculation: every pre-value a value-returning atomic
@@ -306,7 +309,7 @@ void Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& ph
       *add.host += add.delta;
     }
     flush_scan_pushes(config_, cfg, result.pushes, work, san_.get(), block);
-    return;
+    return false;
   }
 
   // Stale atomic pre-value (e.g. an earlier block reserved the same
@@ -320,6 +323,7 @@ void Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& ph
                 work, nullptr);
   if (san_ != nullptr) san_->commit_block(arena.san_log);
   flush_scan_pushes(config_, cfg, arena.bstate.pushes, work, san_.get(), block);
+  return true;
 }
 
 const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& name,
@@ -330,6 +334,9 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
   if (san_ != nullptr) san_->begin_launch(name, cfg.racy_visibility);
 
   const std::uint32_t occupancy = occupancy_blocks_per_sm(config_, cfg);
+  if (prof_ != nullptr) {
+    prof_->begin_launch(name, cfg, occupancy, report_.total_cycles);
+  }
   const std::uint32_t blocks_per_wave = occupancy * config_.num_sms;
   const std::uint32_t warps_per_block = ceil_div(cfg.block_threads, config_.warp_size);
 
@@ -366,6 +373,7 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
         if (san_ != nullptr) san_->commit_block(arenas_.front()->san_log);
         flush_scan_pushes(config_, cfg, arenas_.front()->bstate.pushes,
                           works_[bi], san_.get(), wave_begin + bi);
+        if (prof_ != nullptr) prof_->fold_block(works_[bi], /*replayed=*/false);
       }
     } else {
       // Execute/commit in *chunks of one block per SM*: a chunk's blocks
@@ -392,8 +400,10 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
         // schedule every thread count reproduces bit-exactly.
         for (std::uint32_t i = 0; i < count; ++i) {
           const std::uint32_t bi = chunk + i;
-          commit_block(cfg, phases, wave_begin + bi, warps_per_block,
-                       *results_[bi], works_[bi]);
+          const bool replayed =
+              commit_block(cfg, phases, wave_begin + bi, warps_per_block,
+                           *results_[bi], works_[bi]);
+          if (prof_ != nullptr) prof_->fold_block(works_[bi], replayed);
         }
       }
     }
@@ -403,13 +413,20 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
     for (std::uint32_t bi = 0; bi < wave_count; ++bi) {
       per_sm_[bi % config_.num_sms].push_back(&works_[bi]);
     }
-    t = engine_.run_wave(per_sm_, t, stats, pool_.get());
+    if (prof_ != nullptr) {
+      WaveProfile wave;
+      t = engine_.run_wave(per_sm_, t, stats, pool_.get(), &wave);
+      prof_->on_wave(wave);
+    } else {
+      t = engine_.run_wave(per_sm_, t, stats, pool_.get());
+    }
   }
 
   if (san_ != nullptr) san_->end_launch();
 
   stats.cycles =
       static_cast<std::uint64_t>(t) + config_.us_to_cycles(config_.kernel_launch_us);
+  if (prof_ != nullptr) prof_->end_launch(stats);
   report_.total_cycles += stats.cycles;
   report_.kernels.push_back(std::move(stats));
   return report_.kernels.back();
@@ -419,6 +436,9 @@ void Device::copy_to_device(std::uint64_t bytes) {
   const double us =
       config_.pcie_latency_us + static_cast<double>(bytes) / (config_.pcie_gbps * 1e3);
   const std::uint64_t cycles = config_.us_to_cycles(us);
+  if (prof_ != nullptr) {
+    prof_->on_transfer(/*h2d=*/true, bytes, cycles, report_.total_cycles);
+  }
   report_.h2d.bytes += bytes;
   report_.h2d.cycles += cycles;
   ++report_.h2d.count;
@@ -429,6 +449,9 @@ void Device::copy_to_host(std::uint64_t bytes) {
   const double us =
       config_.pcie_latency_us + static_cast<double>(bytes) / (config_.pcie_gbps * 1e3);
   const std::uint64_t cycles = config_.us_to_cycles(us);
+  if (prof_ != nullptr) {
+    prof_->on_transfer(/*h2d=*/false, bytes, cycles, report_.total_cycles);
+  }
   report_.d2h.bytes += bytes;
   report_.d2h.cycles += cycles;
   ++report_.d2h.count;
@@ -437,6 +460,9 @@ void Device::copy_to_host(std::uint64_t bytes) {
 
 void Device::charge_host_cycles(std::uint64_t cycles) { report_.total_cycles += cycles; }
 
-void Device::reset_report() { report_ = DeviceReport{}; }
+void Device::reset_report() {
+  report_ = DeviceReport{};
+  if (prof_ != nullptr) prof_->reset();
+}
 
 }  // namespace speckle::simt

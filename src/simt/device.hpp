@@ -6,7 +6,7 @@
 /// Typical use (mirrors a CUDA host program):
 ///
 ///   simt::Device dev(simt::DeviceConfig::k20c());
-///   auto row = dev.alloc<eid_t>(n + 1);
+///   auto row = dev.alloc<eid_t>(n + 1, "row");  // name shows up in san/prof reports
 ///   row.copy_from(graph.row_offsets());
 ///   dev.copy_to_device(row.byte_size());            // charge H2D (optional)
 ///   dev.launch({.grid_blocks = nblocks, .block_threads = 128}, "color",
@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "simt/buffer.hpp"
 #include "simt/config.hpp"
 #include "simt/memory.hpp"
@@ -53,6 +54,7 @@ class Device {
   Buffer<T> alloc(std::size_t count, std::string name = {}) {
     const std::uint64_t bytes = count * sizeof(T);
     const std::uint64_t base = allocate_range(bytes);
+    if (prof_ != nullptr) prof_->on_alloc(base, bytes, name);
     if (san_ != nullptr) san_->on_alloc(base, bytes, std::move(name));
     return Buffer<T>(base, count, san_.get());
   }
@@ -97,6 +99,15 @@ class Device {
     return san_ != nullptr ? san_->report() : san::Report{};
   }
 
+  /// Non-null iff DeviceConfig::profile was set.
+  prof::Profiler* profiler() { return prof_.get(); }
+  bool profiling() const { return prof_ != nullptr; }
+  /// The accumulated profile (empty report when profiling is off). Launches
+  /// accumulate until reset_report(), which also clears the profile.
+  prof::Report prof_report() const {
+    return prof_ != nullptr ? prof_->report() : prof::Report{};
+  }
+
  private:
   friend class Thread;
 
@@ -114,7 +125,9 @@ class Device {
                      std::uint32_t block, std::uint32_t warps_per_block,
                      ExecArena& arena, bool speculative, BlockWork& work,
                      BlockResult* result);
-  void commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
+  /// Returns true when the speculation was discarded and the block
+  /// re-executed serially (the profiler counts replays).
+  bool commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
                     std::uint32_t block, std::uint32_t warps_per_block,
                     BlockResult& result, BlockWork& work);
 
@@ -123,6 +136,7 @@ class Device {
   TimingEngine engine_;
   DeviceReport report_;
   std::unique_ptr<san::Sanitizer> san_;  ///< null unless config_.sanitize
+  std::unique_ptr<prof::Profiler> prof_;  ///< null unless config_.profile
   std::uint64_t next_addr_ = 0x1000;
 
   // Parallel wave executor state (lazily built on the first launch).

@@ -35,6 +35,7 @@ struct StallBreakdown {
   /// Fraction of issue opportunities lost to `reason` (0..1).
   double fraction(Stall reason) const;
   StallBreakdown& operator+=(const StallBreakdown& other);
+  bool operator==(const StallBreakdown&) const = default;
 };
 
 struct KernelStats {
@@ -75,6 +76,25 @@ struct KernelStats {
   }
   /// Achieved DRAM bandwidth as a fraction of peak (Fig 3a, "memory").
   double bandwidth_utilization(const DeviceConfig& dev) const;
+};
+
+/// One wave's timing profile: per-SM finish/busy/instruction/DRAM samples
+/// plus the wave bounds, in the launch-local timeline (the launch's first
+/// wave starts at 0). Filled by TimingEngine::run_wave on request — the
+/// raw material of the profiler's SM timeline and issue-utilization
+/// histogram (src/prof).
+struct WaveProfile {
+  struct Sm {
+    double finish = 0.0;  ///< when this SM drained (pre bandwidth floor)
+    double busy = 0.0;    ///< issue-slot-busy cycles on this SM
+    std::uint64_t warp_insts = 0;
+    std::uint64_t dram_transactions = 0;
+    bool operator==(const Sm&) const = default;
+  };
+  double start = 0.0;
+  double finish = 0.0;  ///< wave end incl. the DRAM bandwidth floor
+  std::vector<Sm> sms;  ///< one entry per SM, SM order
+  bool operator==(const WaveProfile&) const = default;
 };
 
 struct TransferStats {

@@ -257,7 +257,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
 
 double TimingEngine::run_wave(const std::vector<std::vector<const BlockWork*>>& per_sm,
                               double start, KernelStats& stats,
-                              support::ThreadPool* pool) {
+                              support::ThreadPool* pool, WaveProfile* profile) {
   SPECKLE_CHECK(per_sm.size() == dev_.num_sms, "per_sm must have one entry per SM");
   const std::uint32_t num_sms = static_cast<std::uint32_t>(per_sm.size());
 
@@ -322,6 +322,19 @@ double TimingEngine::run_wave(const std::vector<std::vector<const BlockWork*>>& 
     stats.stalls.add(Stall::kIdle, finish - sm_busy_until);
   }
   stats.stalls.total += (finish - start) * dev_.num_sms;
+
+  if (profile != nullptr) {
+    profile->start = start;
+    profile->finish = finish;
+    profile->sms.clear();
+    profile->sms.reserve(num_sms);
+    for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
+      profile->sms.push_back({std::max(outcomes_[sm].finish, start),
+                              partials_[sm].stalls.busy,
+                              partials_[sm].warp_insts,
+                              outcomes_[sm].dram_transactions});
+    }
+  }
   return finish;
 }
 

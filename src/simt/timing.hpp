@@ -49,10 +49,13 @@ class TimingEngine {
   /// `stats`. Each SM's event loop runs against its own wave view of the
   /// memory system and its own stats partial, merged in SM order afterwards
   /// — so the result is bit-identical whether the loops run serially
-  /// (`pool == nullptr`) or concurrently on `pool`.
+  /// (`pool == nullptr`) or concurrently on `pool`. When `profile` is
+  /// non-null it receives the wave's per-SM timing samples (same SM-order
+  /// merge, same determinism).
   double run_wave(const std::vector<std::vector<const BlockWork*>>& per_sm,
                   double start, KernelStats& stats,
-                  support::ThreadPool* pool = nullptr);
+                  support::ThreadPool* pool = nullptr,
+                  WaveProfile* profile = nullptr);
 
  private:
   struct SmOutcome {

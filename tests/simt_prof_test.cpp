@@ -1,0 +1,323 @@
+// Tests for speckle::prof, the deterministic profiling subsystem.
+//
+// Victim kernels with hand-countable traffic pin the exact counter
+// semantics (warp instructions, coalesced transactions, divergence,
+// per-buffer attribution); the worklist victims prove the profiler
+// distinguishes the paper's one-atomic-per-block scan push from the naive
+// one-atomic-per-vertex push; the scheme-level tests prove reports are
+// bit-identical across host thread counts and that the __ldg schemes show
+// the read-only-cache evidence the paper claims.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "coloring/runner.hpp"
+#include "graph/suite.hpp"
+#include "prof/prof.hpp"
+#include "simt/device.hpp"
+#include "simt/worklist.hpp"
+
+namespace {
+
+using namespace speckle;
+
+simt::DeviceConfig profiling_config(std::uint32_t host_threads = 1) {
+  simt::DeviceConfig cfg = simt::DeviceConfig::k20c();
+  cfg.profile = true;
+  cfg.host_threads = host_threads;
+  return cfg;
+}
+
+const prof::BufferCounters* find_buffer(const prof::LaunchProfile& lp,
+                                        const std::string& name) {
+  for (const auto& bc : lp.buffers) {
+    if (bc.name == name) return &bc;
+  }
+  return nullptr;
+}
+
+// --- exact counters on a hand-countable kernel -----------------------------
+
+TEST(ProfCounters, ExactCountersForEmbeddedKernel) {
+  simt::Device dev(profiling_config());
+  auto in = dev.alloc<std::uint32_t>(128, "in");
+  auto out = dev.alloc<std::uint32_t>(128, "out");
+  in.fill(3);
+  // Per thread: 1 coalesced load, a 5-instruction compute run, 1 coalesced
+  // store. Per warp that merges to 3 warp ops / 7 warp instructions, and
+  // each warp's 32 consecutive uint32 accesses land in one 128-byte line.
+  dev.launch({.grid_blocks = 2, .block_threads = 64}, "copy5",
+             [&](simt::Thread& t) {
+               const auto g = static_cast<std::size_t>(t.global_id());
+               const std::uint32_t v = t.ld(in, g);
+               t.compute(5);
+               t.st(out, g, v);
+             });
+  const prof::Report report = dev.prof_report();
+  ASSERT_EQ(report.launches.size(), 1u);
+  const prof::LaunchProfile& lp = report.launches[0];
+  EXPECT_EQ(lp.kernel, "copy5");
+  EXPECT_EQ(lp.round, 0u);
+  EXPECT_EQ(lp.grid_blocks, 2u);
+  EXPECT_EQ(lp.block_threads, 64u);
+  EXPECT_EQ(lp.blocks, 2u);
+  EXPECT_EQ(lp.warps_launched, 4u);
+  EXPECT_EQ(lp.threads_launched, 128u);
+  EXPECT_EQ(lp.warp_insts, 28u);  // 4 warps x (ld + compute(5) + st)
+  EXPECT_EQ(lp.divergent_insts, 0u);
+  EXPECT_DOUBLE_EQ(lp.simd_efficiency(), 1.0);
+  EXPECT_EQ(lp.ld_requests, 4u);
+  EXPECT_EQ(lp.ld_transactions, 4u);  // perfectly coalesced: 1 line/warp
+  EXPECT_EQ(lp.st_requests, 4u);
+  EXPECT_EQ(lp.st_transactions, 4u);
+  EXPECT_EQ(lp.ldg_requests, 0u);
+  EXPECT_EQ(lp.atomic_ops, 0u);
+  EXPECT_EQ(lp.barriers, 0u);
+  EXPECT_DOUBLE_EQ(lp.load_transactions_per_request(), 1.0);
+  // The timing engine must have issued exactly the instructions the merge
+  // layer recorded — the cross-check that execution-side and timing-side
+  // counters describe the same launch.
+  EXPECT_EQ(lp.issued_insts, lp.warp_insts);
+  EXPECT_GT(lp.cycles, 0u);
+  EXPECT_EQ(lp.waves, 1u);
+
+  const prof::BufferCounters* bin = find_buffer(lp, "in");
+  ASSERT_NE(bin, nullptr);
+  EXPECT_EQ(bin->ld_transactions, 4u);
+  EXPECT_EQ(bin->st_transactions, 0u);
+  EXPECT_EQ(bin->requests, 4u);
+  const prof::BufferCounters* bout = find_buffer(lp, "out");
+  ASSERT_NE(bout, nullptr);
+  EXPECT_EQ(bout->st_transactions, 4u);
+  EXPECT_EQ(bout->ld_transactions, 0u);
+  EXPECT_EQ(bout->requests, 4u);
+}
+
+TEST(ProfCounters, DivergentIssueCounted) {
+  simt::Device dev(profiling_config());
+  auto out = dev.alloc<std::uint32_t>(32, "out");
+  // One full-warp compute, then a store only half the lanes execute: the
+  // merge layer materializes that as one warp op with 16/32 active lanes.
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "half_store",
+             [&](simt::Thread& t) {
+               t.compute(1);
+               if (t.lane() < 16) t.st(out, t.lane(), 1u);
+             });
+  const prof::Report report = dev.prof_report();
+  const prof::LaunchProfile& lp = report.launches.at(0);
+  EXPECT_EQ(lp.warp_insts, 2u);
+  EXPECT_EQ(lp.divergent_insts, 1u);
+  EXPECT_EQ(lp.active_lane_issues, 48u);    // 32 + 16
+  EXPECT_EQ(lp.possible_lane_issues, 64u);  // 2 ops x 32 resident lanes
+  EXPECT_DOUBLE_EQ(lp.simd_efficiency(), 0.75);
+  EXPECT_EQ(lp.st_requests, 1u);
+  EXPECT_EQ(lp.st_transactions, 1u);  // 16 x 4B inside one line
+}
+
+TEST(ProfCounters, PartialWarpIsNotDivergence) {
+  simt::Device dev(profiling_config());
+  auto out = dev.alloc<std::uint32_t>(8, "out");
+  // An 8-thread block has one warp with 8 resident lanes; a full-block op
+  // is not divergent even though active_lanes < 32.
+  dev.launch({.grid_blocks = 1, .block_threads = 8}, "tiny_block",
+             [&](simt::Thread& t) { t.st(out, t.thread_in_block(), 1u); });
+  const prof::Report report = dev.prof_report();
+  const prof::LaunchProfile& lp = report.launches.at(0);
+  EXPECT_EQ(lp.warps_launched, 1u);
+  EXPECT_EQ(lp.threads_launched, 8u);
+  EXPECT_EQ(lp.divergent_insts, 0u);
+  EXPECT_DOUBLE_EQ(lp.simd_efficiency(), 1.0);
+}
+
+// --- worklist-push atomics: the paper's scan-push claim --------------------
+
+TEST(ProfAtomics, ScanPushCostsOneTailAtomicPerBlock) {
+  simt::Device dev(profiling_config());
+  simt::Worklist wl(dev, 1024, "wl");
+  dev.launch({.grid_blocks = 4, .block_threads = 64}, "scan_push",
+             [&](simt::Thread& t) {
+               t.scan_push(wl, static_cast<std::uint32_t>(t.global_id()));
+             });
+  EXPECT_EQ(wl.size(), 256u);
+  const prof::Report report = dev.prof_report();
+  const prof::LaunchProfile& lp = report.launches.at(0);
+  const prof::BufferCounters* tail = find_buffer(lp, "wl.tail");
+  ASSERT_NE(tail, nullptr);
+  // The whole point of the block-wide scan: ONE tail atomic per block.
+  EXPECT_EQ(tail->atomics, lp.blocks);
+  EXPECT_EQ(tail->atomics, 4u);
+}
+
+TEST(ProfAtomics, NaivePushCostsOneTailAtomicPerItem) {
+  simt::Device dev(profiling_config());
+  simt::Worklist wl(dev, 1024, "wl");
+  dev.launch({.grid_blocks = 4, .block_threads = 64}, "naive_push",
+             [&](simt::Thread& t) {
+               const std::uint32_t slot = t.atomic_add(wl.tail(), 0, 1u);
+               t.st(wl.items(), slot, static_cast<std::uint32_t>(t.global_id()));
+             });
+  EXPECT_EQ(wl.size(), 256u);
+  const prof::Report report = dev.prof_report();
+  const prof::LaunchProfile& lp = report.launches.at(0);
+  const prof::BufferCounters* tail = find_buffer(lp, "wl.tail");
+  ASSERT_NE(tail, nullptr);
+  // The ablation baseline: every pushed item pays a tail atomic, 64x the
+  // scan push at this block size — the mechanism behind Fig 8.
+  EXPECT_EQ(tail->atomics, lp.threads_launched);
+  EXPECT_EQ(tail->atomics, 256u);
+  EXPECT_GE(lp.blocks_replayed, 1u);  // contended tail forces replays
+}
+
+// --- off by default, reset, transfers --------------------------------------
+
+TEST(ProfLifecycle, OffByDefaultAndZeroLaunchCost) {
+  simt::Device dev(simt::DeviceConfig::k20c());
+  auto buf = dev.alloc<std::uint32_t>(32, "buf");
+  buf.fill(0);
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "noop",
+             [&](simt::Thread& t) { (void)t.ld(buf, t.thread_in_block()); });
+  EXPECT_TRUE(dev.prof_report().empty());
+}
+
+TEST(ProfLifecycle, TransfersRecordedAndResetClears) {
+  simt::Device dev(profiling_config());
+  auto buf = dev.alloc<std::uint32_t>(32, "buf");
+  buf.fill(0);
+  dev.copy_to_device(1024);
+  dev.copy_to_host(256);
+  {
+    const prof::Report report = dev.prof_report();
+    ASSERT_EQ(report.transfers.size(), 2u);
+    EXPECT_TRUE(report.transfers[0].h2d);
+    EXPECT_EQ(report.transfers[0].bytes, 1024u);
+    EXPECT_FALSE(report.transfers[1].h2d);
+    EXPECT_EQ(report.transfers[1].bytes, 256u);
+    EXPECT_GT(report.transfers[0].cycles, 0u);
+  }
+  dev.reset_report();
+  EXPECT_TRUE(dev.prof_report().empty());
+  // The allocation registry survives the reset: post-reset launches still
+  // attribute traffic to named buffers.
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "post_reset",
+             [&](simt::Thread& t) { (void)t.ld(buf, t.thread_in_block()); });
+  const prof::Report report = dev.prof_report();
+  ASSERT_EQ(report.launches.size(), 1u);
+  EXPECT_NE(find_buffer(report.launches[0], "buf"), nullptr);
+}
+
+TEST(ProfLifecycle, RoundsCountPerKernelName) {
+  simt::Device dev(profiling_config());
+  auto buf = dev.alloc<std::uint32_t>(32, "buf");
+  buf.fill(0);
+  for (int i = 0; i < 3; ++i) {
+    dev.launch({.grid_blocks = 1, .block_threads = 32}, "again",
+               [&](simt::Thread& t) { (void)t.ld(buf, t.thread_in_block()); });
+  }
+  const prof::Report report = dev.prof_report();
+  ASSERT_EQ(report.launches.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(report.launches[i].round, i);
+  }
+  const auto by_kernel = report.by_kernel();
+  ASSERT_EQ(by_kernel.size(), 1u);
+  EXPECT_EQ(by_kernel[0].launches, 3u);
+  EXPECT_EQ(by_kernel[0].sum.warp_insts, 3 * report.launches[0].warp_insts);
+}
+
+// --- scheme-level: determinism, the __ldg story, exports -------------------
+
+coloring::RunOptions profiled_options(std::uint32_t host_threads) {
+  coloring::RunOptions opts;
+  opts.seed = 1;
+  opts.device.profile = true;
+  opts.device.host_threads = host_threads;
+  opts.scale_caches(64);  // keep cache ratios paper-like at denom=64 scale
+  return opts;
+}
+
+TEST(ProfDeterminism, ReportBitIdenticalAcrossHostThreads) {
+  const graph::CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 1);
+  const auto r1 = coloring::run_scheme(coloring::Scheme::kDataLdg, g,
+                                       profiled_options(1));
+  const auto r4 = coloring::run_scheme(coloring::Scheme::kDataLdg, g,
+                                       profiled_options(4));
+  ASSERT_FALSE(r1.prof.launches.empty());
+  // Field-for-field identity, including stall cycles, issue histograms and
+  // the wave timeline — the whole report, not just the headline counters.
+  EXPECT_EQ(r1.prof, r4.prof);
+  const simt::DeviceConfig dev = profiled_options(1).device;
+  EXPECT_EQ(r1.prof.format(dev), r4.prof.format(dev));
+  EXPECT_EQ(r1.prof.to_json(dev, "test"), r4.prof.to_json(dev, "test"));
+  EXPECT_EQ(r1.prof.to_chrome_trace(dev), r4.prof.to_chrome_trace(dev));
+  // Execution-side and timing-side instruction counts agree per launch.
+  for (const auto& lp : r1.prof.launches) {
+    EXPECT_EQ(lp.warp_insts, lp.issued_insts) << lp.kernel << "#" << lp.round;
+  }
+}
+
+TEST(ProfLdgEvidence, ReadOnlyCacheAbsorbsTopologyReads) {
+  const graph::CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 1);
+  // Full-size caches against the 1/64-scale graph: the RO cache comfortably
+  // holds the topology, which is the regime the paper's full-scale runs are
+  // in (the scaled-cache regime is exercised by the bench goldens instead).
+  coloring::RunOptions opts;
+  opts.seed = 1;
+  opts.device.profile = true;
+  opts.device.host_threads = 1;
+  const auto base = coloring::run_scheme(coloring::Scheme::kTopoBase, g, opts);
+  const auto ldg = coloring::run_scheme(coloring::Scheme::kTopoLdg, g, opts);
+  std::uint64_t base_ro = 0, base_gld = 0, base_dram = 0;
+  std::uint64_t ldg_ro_h = 0, ldg_ro_m = 0, ldg_gld = 0, ldg_dram = 0;
+  for (const auto& lp : base.prof.launches) {
+    base_ro += lp.ro_hits + lp.ro_misses;
+    base_gld += lp.ld_transactions;
+    base_dram += lp.dram_transactions();
+  }
+  for (const auto& lp : ldg.prof.launches) {
+    ldg_ro_h += lp.ro_hits;
+    ldg_ro_m += lp.ro_misses;
+    ldg_gld += lp.ld_transactions;
+    ldg_dram += lp.dram_transactions();
+  }
+  // T-base never touches the read-only path; T-ldg routes the row/col
+  // topology reads through it (the global-load transaction count drops by
+  // the rerouted amount) and most of them hit the ~30-cycle RO cache
+  // instead of going to L2/DRAM — the mechanism behind the paper's Fig 4.
+  // DRAM traffic can only shrink (compulsory misses dominate at this
+  // scale, so the margin is small — the assert is on direction, the
+  // magnitudes live in the checked-in golden).
+  EXPECT_EQ(base_ro, 0u);
+  EXPECT_GT(ldg_ro_h, 0u);
+  EXPECT_GT(static_cast<double>(ldg_ro_h) / (ldg_ro_h + ldg_ro_m), 0.5);
+  EXPECT_LT(ldg_gld + (ldg_gld / 2), base_gld);  // >1/3 of loads rerouted
+  EXPECT_LE(ldg_dram, base_dram);
+}
+
+TEST(ProfExports, JsonAndTraceSmoke) {
+  simt::Device dev(profiling_config());
+  auto buf = dev.alloc<std::uint32_t>(64, "buf");
+  buf.fill(0);
+  dev.copy_to_device(256);
+  dev.launch({.grid_blocks = 2, .block_threads = 32}, "smoke",
+             [&](simt::Thread& t) { t.st(buf, t.thread_in_block(), 1u); });
+  const prof::Report report = dev.prof_report();
+  const simt::DeviceConfig cfg = profiling_config();
+
+  const std::string text = report.format(cfg);
+  EXPECT_NE(text.find("smoke"), std::string::npos);
+  EXPECT_NE(text.find("buf"), std::string::npos);
+
+  const std::string json = report.to_json(cfg, "unit-test");
+  EXPECT_NE(json.find("\"speckle-prof-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"smoke\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit-test\""), std::string::npos);
+
+  const std::string trace = report.to_chrome_trace(cfg);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("smoke#0"), std::string::npos);
+  EXPECT_NE(trace.find("pcie"), std::string::npos);
+}
+
+}  // namespace

@@ -40,20 +40,37 @@ import time
 
 
 def run_once(cmd):
-    """Run cmd discarding output; return (wall_s, user_s) for the child."""
+    """Run cmd; return (wall_s, user_s) for the child.
+
+    Output is captured, not displayed — but kept, so a failing bench dies
+    loudly with its stderr instead of a bare exit code (a silent sys.exit
+    here once cost a debugging session to a missing graph file).
+    """
     before = resource.getrusage(resource.RUSAGE_CHILDREN)
     t0 = time.monotonic()
-    proc = subprocess.run(
-        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, check=False
-    )
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    except OSError as e:
+        sys.exit(f"bench_compare: cannot run {' '.join(cmd)}: {e}")
     wall = time.monotonic() - t0
     after = resource.getrusage(resource.RUSAGE_CHILDREN)
     if proc.returncode != 0:
-        sys.exit(f"bench_compare: {' '.join(cmd)} exited {proc.returncode}")
+        tail = "\n".join((proc.stderr or proc.stdout or "").splitlines()[-20:])
+        sys.exit(
+            f"bench_compare: {' '.join(cmd)} exited {proc.returncode}"
+            + (f"; last output:\n{tail}" if tail else " with no output")
+        )
+    if not (proc.stdout or "").strip():
+        sys.exit(
+            f"bench_compare: {' '.join(cmd)} exited 0 but printed nothing — "
+            "refusing to time a bench that did no work"
+        )
     return round(wall, 3), round(after.ru_utime - before.ru_utime, 3)
 
 
 def measure(label, samples):
+    if not samples:
+        sys.exit("bench_compare: no samples collected (is --repeats >= 1?)")
     walls = [s[0] for s in samples]
     users = [s[1] for s in samples]
     return {

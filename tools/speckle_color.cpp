@@ -18,6 +18,16 @@
 /// coherence, worklist misuse — see docs/simulator.md) and prints the
 /// findings; the exit code is 2 when any finding fired.
 ///
+/// --profile runs the scheme under the speckle::prof profiling layer and
+/// prints per-kernel hardware-counter-style metrics (cache hit rates, DRAM
+/// transactions, coalescing efficiency, per-buffer atomics, divergence,
+/// stalls) after a "--- profile ---" marker; the section contains only
+/// simulated quantities and is byte-identical at every --threads value.
+/// --profile=json / =trace / =both additionally write machine-readable
+/// exports next to --profile-out (default "profile"): <prefix>.json
+/// (BENCH_*.json-style record) and <prefix>.trace.json (Chrome-trace /
+/// Perfetto timeline).
+///
 /// Output file format: one line per vertex, "<vertex> <color>", colors
 /// 1-based; header lines start with '%'.
 
@@ -50,11 +60,21 @@ int main(int argc, char** argv) {
   const bool distance2 = opts.get_bool("distance2", false);
   const bool device_report = opts.get_bool("device-report", false);
   const bool sanitize = opts.get_bool("sanitize", false);
+  // Bare --profile stores "true": text report only. =json/=trace/=both also
+  // write the machine-readable exports.
+  const std::string profile_mode = opts.get_string("profile", "off");
+  const std::string profile_out = opts.get_string("profile-out", "profile");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   const auto threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
   opts.validate({"graph", "suite", "denom", "scheme", "block", "out", "balance",
-                 "refine", "distance2", "device-report", "sanitize", "seed",
-                 "threads"});
+                 "refine", "distance2", "device-report", "sanitize", "profile",
+                 "profile-out", "seed", "threads"});
+  SPECKLE_CHECK(profile_mode == "off" || profile_mode == "true" ||
+                    profile_mode == "json" || profile_mode == "trace" ||
+                    profile_mode == "both",
+                "--profile takes json, trace or both (bare --profile prints "
+                "the text report only)");
+  const bool profiling = profile_mode != "off";
   SPECKLE_CHECK(mtx.empty() != suite.empty(),
                 "pass exactly one of --graph=<path.mtx> or --suite=<name>");
 
@@ -77,17 +97,22 @@ int main(int argc, char** argv) {
   coloring::Coloring coloring;
   coloring::color_t num_colors = 0;
   san::Report san;
+  prof::Report prof;
+  simt::DeviceConfig dev_cfg = simt::DeviceConfig::k20c();
   if (distance2) {
     coloring::GpuOptions gpu;
     gpu.block_size = block;
     gpu.device.host_threads = threads;
     gpu.device.sanitize = sanitize;
+    gpu.device.profile = profiling;
+    dev_cfg = gpu.device;
     const auto r = coloring::topo_color_d2(g, gpu);
     SPECKLE_CHECK(coloring::verify_coloring_d2(g, r.coloring).proper,
                   "distance-2 coloring invalid");
     coloring = r.coloring;
     num_colors = r.num_colors;
     san = r.san;
+    prof = r.prof;
     std::cout << "distance-2 topo-gpu: " << num_colors << " colors in "
               << r.iterations << " iterations, " << r.model_ms << " ms simulated\n";
   } else {
@@ -96,11 +121,14 @@ int main(int argc, char** argv) {
     run.seed = seed;
     run.device.host_threads = threads;
     run.device.sanitize = sanitize;
+    run.device.profile = profiling;
+    dev_cfg = run.device;
     const auto scheme = coloring::scheme_from_name(scheme_name);
     const auto r = coloring::run_scheme(scheme, g, run);
     coloring = r.coloring;
     num_colors = r.num_colors;
     san = r.san;
+    prof = r.prof;
     std::cout << scheme_name << ": " << num_colors << " colors in " << r.iterations
               << " iterations, " << r.model_ms << " ms simulated, " << r.wall_ms
               << " ms host wall\n";
@@ -111,6 +139,30 @@ int main(int argc, char** argv) {
     }
   }
   if (sanitize) std::cout << san.format();
+  if (profiling) {
+    // The marker makes the section sed-extractable for golden diffing; the
+    // section holds only simulated quantities (no wall clock), so it is
+    // byte-identical at every --threads value.
+    std::cout << "--- profile ---\n" << prof.format(dev_cfg);
+    const std::string benchmark =
+        "speckle_color --scheme=" + scheme_name + " " +
+        (mtx.empty() ? "--suite=" + suite + " --denom=" + std::to_string(denom)
+                     : "--graph=" + mtx);
+    if (profile_mode == "json" || profile_mode == "both") {
+      const std::string path = profile_out + ".json";
+      std::ofstream json(path);
+      SPECKLE_CHECK(json.good(), "cannot open '" + path + "'");
+      json << prof.to_json(dev_cfg, benchmark);
+      std::cout << "wrote " << path << "\n";
+    }
+    if (profile_mode == "trace" || profile_mode == "both") {
+      const std::string path = profile_out + ".trace.json";
+      std::ofstream trace(path);
+      SPECKLE_CHECK(trace.good(), "cannot open '" + path + "'");
+      trace << prof.to_chrome_trace(dev_cfg);
+      std::cout << "wrote " << path << "\n";
+    }
+  }
 
   if (refine && !distance2) {
     const auto r = coloring::iterated_greedy(g, coloring);
