@@ -13,6 +13,8 @@ coloring::RunOptions BenchContext::run_options() const {
   coloring::RunOptions opts;
   opts.block_size = block;
   opts.seed = seed;
+  opts.num_devices = devices;
+  opts.partitioner = partitioner;
   opts.device.host_threads = threads;
   opts.device.profile = profile;
   if (denom > 1) opts.scale_caches(denom);
@@ -27,8 +29,15 @@ BenchContext parse_context(int argc, char** argv,
   ctx.block = static_cast<std::uint32_t>(opts.get_int("block", 128));
   ctx.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   ctx.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
+  ctx.devices = static_cast<std::uint32_t>(opts.get_int("devices", 1));
+  ctx.partitioner =
+      graph::partition_kind_from_name(opts.get_string("partitioner", "contiguous"));
   ctx.profile = opts.get_bool("profile", false);
   ctx.csv = opts.get_bool("csv", false);
+  SPECKLE_CHECK(ctx.seed != 0,
+                "--seed=0 is reserved (benches derive sub-seeds as seed*k "
+                "products); pass a nonzero seed");
+  SPECKLE_CHECK(ctx.devices >= 1, "--devices needs at least 1");
 
   const std::string graphs = opts.get_string("graphs", "");
   if (graphs.empty()) {
@@ -42,8 +51,9 @@ BenchContext parse_context(int argc, char** argv,
     }
   }
 
-  std::vector<std::string> known = {"denom", "block", "seed", "threads",
-                                    "profile", "csv", "graphs"};
+  std::vector<std::string> known = {"denom",   "block", "seed",
+                                    "threads", "devices", "partitioner",
+                                    "profile", "csv",   "graphs"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   opts.validate(known);
   return ctx;

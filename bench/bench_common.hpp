@@ -12,6 +12,9 @@
 ///   --threads=N  host threads for the simulator's wave executor (0 = one
 ///                per hardware thread, the default). Results are
 ///                bit-identical for every value; only wall-clock changes.
+///   --devices=P  shard each run over P simulated GPUs (speckle::multidev;
+///                data-driven schemes only; default 1)
+///   --partitioner=contiguous|hash  multi-device vertex partitioner
 ///   --profile    run the schemes under the speckle::prof profiling layer
 ///                (benches that support it print a counter summary)
 ///   --csv        emit CSV after the human-readable table
@@ -21,6 +24,7 @@
 
 #include "coloring/runner.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -31,6 +35,8 @@ struct BenchContext {
   std::uint32_t block = 128;
   std::uint64_t seed = 1;
   std::uint32_t threads = 0;  ///< simulator host threads; 0 = hardware
+  std::uint32_t devices = 1;  ///< simulated GPUs (speckle::multidev when > 1)
+  graph::PartitionKind partitioner = graph::PartitionKind::kContiguous;
   bool profile = false;       ///< enable DeviceConfig::profile
   bool csv = false;
   std::vector<std::string> graphs;  ///< suite names, Table I order

@@ -85,6 +85,40 @@ GpuOptions make_gpu_options(const RunOptions& opts, bool use_ldg) {
 RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts) {
   RunResult result;
   result.scheme = s;
+  if (opts.num_devices > 1) {
+    SPECKLE_CHECK(s == Scheme::kDataBase || s == Scheme::kDataLdg ||
+                      s == Scheme::kDataAtomic,
+                  std::string(scheme_name(s)) +
+                      " has no multi-device path; --devices>1 supports "
+                      "D-base, D-ldg and D-atomic");
+    multidev::MultiDevOptions mo;
+    mo.num_devices = opts.num_devices;
+    mo.partitioner = opts.partitioner;
+    mo.block_size = opts.block_size;
+    mo.use_ldg = s == Scheme::kDataLdg;
+    mo.scan_push = s != Scheme::kDataAtomic;
+    mo.max_rounds = opts.max_iterations;
+    mo.seed = opts.seed;
+    mo.device = opts.device;
+    multidev::MultiDevResult r = multidev::multidev_color(g, mo);
+    result.coloring = std::move(r.coloring);
+    result.model_ms = r.model_ms;
+    result.wall_ms = r.wall_ms;
+    result.iterations = r.rounds;
+    result.report = std::move(r.fleet_report);
+    result.san = std::move(r.san);
+    result.prof = std::move(r.prof);
+    result.devices = std::move(r.devices);
+    result.cut_edges = r.cut_edges;
+    result.exchanged_colors = r.exchanged_colors;
+    result.num_colors = count_colors(result.coloring);
+    const VerifyResult verify = verify_coloring(g, result.coloring);
+    SPECKLE_CHECK(verify.proper, std::string(scheme_name(s)) +
+                                     " (multi-device) produced an improper "
+                                     "coloring: " +
+                                     verify.to_string());
+    return result;
+  }
   switch (s) {
     case Scheme::kSequential: {
       SeqOptions seq;

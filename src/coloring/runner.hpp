@@ -12,6 +12,8 @@
 #include "coloring/gpu_common.hpp"
 #include "cpumodel/cpu_model.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+#include "multidev/multidev.hpp"
 
 namespace speckle::coloring {
 
@@ -48,6 +50,13 @@ struct RunOptions {
   cpumodel::CpuConfig cpu = cpumodel::CpuConfig::xeon_e5_2670();
   std::uint32_t max_iterations = 100000;
 
+  /// Multi-device runs (speckle::multidev): shard the graph over this many
+  /// simulated GPUs. 1 = the classic single-device path. Values > 1 are
+  /// only valid for the data-driven SGR schemes (D-base / D-ldg /
+  /// D-atomic); run_scheme aborts loudly otherwise.
+  std::uint32_t num_devices = 1;
+  graph::PartitionKind partitioner = graph::PartitionKind::kContiguous;
+
   /// Convenience for reduced-scale experiments: scale both machine models'
   /// cache capacities by `denom` (see DeviceConfig::scaled).
   void scale_caches(std::uint32_t denom) {
@@ -68,6 +77,14 @@ struct RunResult {
                               ///< or when RunOptions::device.sanitize is off)
   prof::Report prof;    ///< profiler counters/timeline (empty for CPU
                               ///< schemes or when device.profile is off)
+
+  // --- multi-device runs only (RunOptions::num_devices > 1) ---------------
+  /// Per-device breakdowns, in device order. Empty on single-device runs;
+  /// `report`/`san`/`prof` above then hold the fleet-level merged views
+  /// (kernel names carry the "d<k>." device prefix).
+  std::vector<multidev::DeviceBreakdown> devices;
+  std::uint64_t cut_edges = 0;         ///< directed cut of the partition
+  std::uint64_t exchanged_colors = 0;  ///< ghost updates shipped over D2D
 };
 
 /// Run one scheme on one graph. Aborts if the scheme produced an improper

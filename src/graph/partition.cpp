@@ -1,0 +1,140 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace speckle::graph {
+
+const char* partition_kind_name(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kContiguous: return "contiguous";
+    case PartitionKind::kHash: return "hash";
+  }
+  return "?";
+}
+
+PartitionKind partition_kind_from_name(const std::string& name) {
+  if (name == "contiguous") return PartitionKind::kContiguous;
+  if (name == "hash") return PartitionKind::kHash;
+  SPECKLE_CHECK(false, "unknown partitioner '" + name + "' (contiguous, hash)");
+  return PartitionKind::kContiguous;
+}
+
+Partition make_partition(const CsrGraph& g, std::uint32_t parts,
+                         PartitionKind kind, std::uint64_t seed) {
+  SPECKLE_CHECK(parts >= 1, "partition needs at least one part");
+  SPECKLE_CHECK(seed != 0,
+                "seed 0 is reserved (it collapses the repo's derived-seed "
+                "products); pass a nonzero seed");
+  const vid_t n = g.num_vertices();
+  Partition p;
+  p.kind = kind;
+  p.num_parts = parts;
+  p.owner.resize(n);
+  p.local_index.assign(n, kInvalidVertex);
+  p.shards.resize(parts);
+
+  for (vid_t v = 0; v < n; ++v) {
+    const std::uint32_t k =
+        kind == PartitionKind::kContiguous
+            ? static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) * parts / n)
+            : static_cast<std::uint32_t>(
+                  support::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (v + 1ULL))) %
+                  parts);
+    p.owner[v] = k;
+    p.local_index[v] = static_cast<vid_t>(p.shards[k].owned.size());
+    p.shards[k].owned.push_back(v);  // ascending: v iterates in global order
+  }
+
+  // Ghost discovery + local CSR per shard. `g2l` maps global ids to the
+  // current shard's local ids; only the entries a shard touches are set and
+  // they are reset before the next shard reuses the array.
+  std::vector<vid_t> g2l(n, kInvalidVertex);
+  for (std::uint32_t k = 0; k < parts; ++k) {
+    Shard& s = p.shards[k];
+    for (const vid_t v : s.owned) {
+      for (const vid_t w : g.neighbors(v)) {
+        if (p.owner[w] != k && g2l[w] == kInvalidVertex) {
+          g2l[w] = 0;  // mark; slot assigned after the sort below
+          s.ghosts.push_back(w);
+        }
+      }
+    }
+    std::sort(s.ghosts.begin(), s.ghosts.end());
+    for (const vid_t v : s.owned) g2l[v] = p.local_index[v];
+    for (std::size_t j = 0; j < s.ghosts.size(); ++j) {
+      g2l[s.ghosts[j]] = s.num_owned() + static_cast<vid_t>(j);
+    }
+
+    std::vector<eid_t> row(static_cast<std::size_t>(s.num_local()) + 1, 0);
+    std::vector<vid_t> col;
+    for (vid_t i = 0; i < s.num_owned(); ++i) {
+      for (const vid_t w : g.neighbors(s.owned[i])) {
+        col.push_back(g2l[w]);
+        if (p.owner[w] != k) ++s.cut_edges;
+      }
+      row[i + 1] = static_cast<eid_t>(col.size());
+    }
+    // Ghost rows are empty: repeat the final offset.
+    for (vid_t i = s.num_owned(); i < s.num_local(); ++i) row[i + 1] = row[i];
+    s.local = CsrGraph(std::move(row), std::move(col));
+    p.cut_edges += s.cut_edges;
+
+    for (const vid_t v : s.owned) g2l[v] = kInvalidVertex;
+    for (const vid_t w : s.ghosts) g2l[w] = kInvalidVertex;
+  }
+  return p;
+}
+
+void Partition::validate(const CsrGraph& g) const {
+  const vid_t n = g.num_vertices();
+  SPECKLE_CHECK(owner.size() == n && local_index.size() == n,
+                "partition arrays must cover every vertex");
+  SPECKLE_CHECK(shards.size() == num_parts, "one shard per part");
+  std::uint64_t owned_total = 0, cut_total = 0;
+  for (std::uint32_t k = 0; k < num_parts; ++k) {
+    const Shard& s = shards[k];
+    owned_total += s.owned.size();
+    cut_total += s.cut_edges;
+    SPECKLE_CHECK(s.local.num_vertices() == s.num_local(),
+                  "local CSR must have one row per owned+ghost vertex");
+    SPECKLE_CHECK(std::is_sorted(s.owned.begin(), s.owned.end()) &&
+                      std::is_sorted(s.ghosts.begin(), s.ghosts.end()),
+                  "owned and ghost lists must be ascending");
+    for (vid_t i = 0; i < s.num_owned(); ++i) {
+      const vid_t v = s.owned[i];
+      SPECKLE_CHECK(owner[v] == k && local_index[v] == i,
+                    "owner/local_index must agree with the shard lists");
+      // The local adjacency must mirror the global one, entry by entry.
+      const auto global_adj = g.neighbors(v);
+      const auto local_adj = s.local.neighbors(i);
+      SPECKLE_CHECK(global_adj.size() == local_adj.size(),
+                    "local degree must match global degree");
+      for (std::size_t e = 0; e < global_adj.size(); ++e) {
+        const vid_t gw = global_adj[e];
+        const vid_t lw = local_adj[e];
+        if (owner[gw] == k) {
+          SPECKLE_CHECK(lw < s.num_owned() && s.owned[lw] == gw,
+                        "owned neighbor must map to its owned local id");
+        } else {
+          SPECKLE_CHECK(lw >= s.num_owned() &&
+                            s.ghosts[lw - s.num_owned()] == gw,
+                        "cross-partition neighbor must map to a ghost slot");
+        }
+      }
+    }
+    for (const vid_t w : s.ghosts) {
+      SPECKLE_CHECK(owner[w] != k, "a shard never ghosts its own vertex");
+    }
+    // Every ghost row must be empty.
+    for (vid_t i = s.num_owned(); i < s.num_local(); ++i) {
+      SPECKLE_CHECK(s.local.degree(i) == 0, "ghost rows carry no adjacency");
+    }
+  }
+  SPECKLE_CHECK(owned_total == n, "every vertex owned exactly once");
+  SPECKLE_CHECK(cut_total == cut_edges, "cut_edges must sum over shards");
+}
+
+}  // namespace speckle::graph

@@ -1,0 +1,82 @@
+#pragma once
+/// \file partition.hpp
+/// Vertex partitioning of a CSR graph into P shards for the multi-device
+/// runner (`speckle::multidev`). Each shard re-labels its vertices into a
+/// compact local id space:
+///
+///   * owned vertices  — local ids [0, num_owned), ascending global order;
+///   * ghost vertices  — local ids [num_owned, num_local): read-only copies
+///     of cross-partition neighbors, ascending global order. Ghost rows in
+///     the shard-local CSR are empty (a device never iterates a ghost's
+///     adjacency; it only reads the ghost's color).
+///
+/// Two partitioners, the classic distributed-coloring pair:
+///   * contiguous — part k owns the global id range [k*n/P, (k+1)*n/P);
+///     preserves generator locality, minimal cut on banded/stencil graphs;
+///   * hash       — owner(v) = mix64(seed ^ f(v)) mod P; destroys locality
+///     but balances skewed degree distributions, and is the adversarial
+///     case for the boundary-exchange machinery (most edges become cut).
+///
+/// Both are deterministic; hash additionally takes a nonzero seed (seed 0
+/// is rejected loudly — it collapses the derived-seed products used
+/// throughout the repo, see make_suite_graph).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace speckle::graph {
+
+enum class PartitionKind {
+  kContiguous,
+  kHash,
+};
+
+const char* partition_kind_name(PartitionKind kind);
+/// Lookup by name ("contiguous" / "hash"); aborts on unknown names.
+PartitionKind partition_kind_from_name(const std::string& name);
+
+/// One device's slice of the graph.
+struct Shard {
+  std::vector<vid_t> owned;   ///< global ids, ascending; local ids [0, |owned|)
+  std::vector<vid_t> ghosts;  ///< global ids, ascending; local ids follow owned
+  /// Shard-local CSR: adjacency of every owned vertex in local ids (owned
+  /// and ghost neighbors alike); ghost rows are empty. Constructed directly
+  /// (ghost rows make it asymmetric by design, so it never goes through the
+  /// symmetrizing builder).
+  CsrGraph local;
+  /// Directed CSR entries from an owned vertex to a ghost (this shard's
+  /// side of the edge cut).
+  std::uint64_t cut_edges = 0;
+
+  vid_t num_owned() const { return static_cast<vid_t>(owned.size()); }
+  vid_t num_ghosts() const { return static_cast<vid_t>(ghosts.size()); }
+  vid_t num_local() const { return num_owned() + num_ghosts(); }
+};
+
+struct Partition {
+  PartitionKind kind = PartitionKind::kContiguous;
+  std::uint32_t num_parts = 1;
+  std::vector<std::uint32_t> owner;  ///< size n: owning part of each vertex
+  /// Size n: the vertex's local id on its owner shard (always < num_owned
+  /// of that shard; ghost slots are not recorded here).
+  std::vector<vid_t> local_index;
+  std::vector<Shard> shards;         ///< num_parts entries (possibly empty shards)
+  std::uint64_t cut_edges = 0;       ///< directed, summed over shards
+
+  /// Structural self-check (owner/local_index/shard cross-consistency and
+  /// the local CSR against the global one). O(n + m). Aborts on violation —
+  /// used by tests and the fuzz harness, cheap enough to keep on.
+  void validate(const CsrGraph& g) const;
+};
+
+/// Partition `g` into `parts` shards. `seed` feeds the hash partitioner
+/// (ignored by contiguous) and must be nonzero. Deterministic for a given
+/// (graph, parts, kind, seed).
+Partition make_partition(const CsrGraph& g, std::uint32_t parts,
+                         PartitionKind kind, std::uint64_t seed = 0x5eed);
+
+}  // namespace speckle::graph

@@ -50,6 +50,10 @@ const SuiteEntry& suite_entry(const std::string& name) {
 CsrGraph make_suite_graph(const std::string& name, std::uint32_t denom,
                           std::uint64_t seed) {
   SPECKLE_CHECK(is_pow2(denom), "suite denom must be a power of two");
+  // The sub-seeds below are seed+k offsets and callers derive seed*k
+  // products; seed 0 collapses those into colliding streams, so reject it
+  // loudly instead of silently producing correlated graphs.
+  SPECKLE_CHECK(seed != 0, "suite seed 0 is reserved; pass a nonzero seed");
   if (name == "rmat-er" || name == "rmat-g") {
     // Paper: 1M-vertex R-MAT, ~21M directed CSR entries -> ~10.5 undirected
     // edges per vertex before dedup. (a,b,c,d) per Section IV.

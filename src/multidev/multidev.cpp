@@ -1,0 +1,429 @@
+#include "multidev/multidev.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "coloring/gpu_common.hpp"
+#include "simt/device.hpp"
+#include "simt/worklist.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace speckle::multidev {
+
+using coloring::color_t;
+using coloring::kUncolored;
+using graph::eid_t;
+using graph::vid_t;
+
+namespace {
+
+/// Bytes one ghost update occupies on the interconnect: a (global id,
+/// color) record, the minimal delta-exchange payload.
+constexpr std::uint64_t kExchangeRecordBytes = sizeof(vid_t) + sizeof(color_t);
+
+/// One simulated GPU plus its shard-local working set.
+struct Node {
+  std::unique_ptr<simt::Device> dev;
+  coloring::DeviceGraph dg;                 ///< shard-local CSR (ghost rows empty)
+  simt::Buffer<std::uint32_t> colors;       ///< num_local: owned then ghost slots
+  simt::Buffer<vid_t> l2g;                  ///< num_local: local id -> global id
+  std::unique_ptr<simt::Worklist> list_a;
+  std::unique_ptr<simt::Worklist> list_b;
+  simt::Worklist* w_in = nullptr;
+  simt::Worklist* w_out = nullptr;
+  std::uint32_t rounds = 0;           ///< rounds with live work on this device
+  std::uint64_t sent_colors = 0;
+  std::uint64_t recv_colors = 0;
+};
+
+/// Advance every device to the slowest timeline — the lockstep round
+/// barrier. Iterating devices in index order keeps the charge sequence (and
+/// with it every report) deterministic.
+void align_timelines(std::vector<Node>& nodes) {
+  std::uint64_t latest = 0;
+  for (const Node& node : nodes) {
+    latest = std::max(latest, node.dev->timeline_cycles());
+  }
+  for (Node& node : nodes) {
+    const std::uint64_t now = node.dev->timeline_cycles();
+    if (now < latest) node.dev->charge_host_cycles(latest - now);
+  }
+}
+
+/// Conflict test with a GLOBAL-id tie-break: true when some neighbor w has
+/// colors[w] == colors[v] and global(v) < global(w). The local-id test of
+/// gpu_common's device_conflict is wrong across shards — two devices would
+/// each see their own local id as the smaller one and both (or neither)
+/// would recolor — so the kernel pays the extra l2g load on each
+/// same-colored neighbor to agree with the remote owner.
+bool device_conflict_global(simt::Thread& t, const coloring::DeviceGraph& dg,
+                            simt::Buffer<std::uint32_t>& colors,
+                            const simt::Buffer<vid_t>& l2g, vid_t v,
+                            vid_t global_v, bool use_ldg) {
+  const eid_t begin = use_ldg ? t.ldg(dg.row, v) : t.ld(dg.row, v);
+  const eid_t end = use_ldg ? t.ldg(dg.row, v + 1) : t.ld(dg.row, v + 1);
+  const color_t cv = t.ld(colors, v);
+  t.compute(2);
+  for (eid_t e = begin; e < end; ++e) {
+    const vid_t w = use_ldg ? t.ldg(dg.col, e) : t.ld(dg.col, e);
+    const color_t cw = t.ld(colors, w);
+    t.compute(3);
+    if (cv != cw) continue;
+    const vid_t global_w = use_ldg ? t.ldg(l2g, w) : t.ld(l2g, w);
+    t.compute(1);
+    if (global_v < global_w) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& opts) {
+  support::Timer wall;
+  SPECKLE_CHECK(opts.num_devices >= 1, "multidev_color needs at least one device");
+  const std::uint32_t parts = opts.num_devices;
+
+  MultiDevResult result;
+  const graph::Partition part =
+      graph::make_partition(g, parts, opts.partitioner, opts.seed);
+  result.cut_edges = part.cut_edges;
+
+  // --- bring up the fleet ---------------------------------------------------
+  std::vector<Node> nodes(parts);
+  for (std::uint32_t k = 0; k < parts; ++k) {
+    const graph::Shard& shard = part.shards[k];
+    Node& node = nodes[k];
+    const std::string prefix = "d" + std::to_string(k) + ".";
+    node.dev = std::make_unique<simt::Device>(opts.device);
+    simt::Device& dev = *node.dev;
+
+    const vid_t num_local = shard.num_local();
+    node.dg.num_vertices = num_local;
+    node.dg.row = dev.alloc<eid_t>(shard.local.num_vertices() + 1, prefix + "row");
+    node.dg.col = dev.alloc<vid_t>(shard.local.num_edges(), prefix + "col");
+    node.dg.row.copy_from(shard.local.row_offsets());
+    node.dg.col.copy_from(shard.local.col_indices());
+
+    node.colors = dev.alloc<std::uint32_t>(num_local, prefix + "colors");
+    node.colors.fill(kUncolored);
+    node.l2g = dev.alloc<vid_t>(num_local, prefix + "l2g");
+    for (vid_t i = 0; i < shard.num_owned(); ++i) node.l2g[i] = shard.owned[i];
+    for (vid_t i = 0; i < shard.num_ghosts(); ++i) {
+      node.l2g[shard.num_owned() + i] = shard.ghosts[i];
+    }
+
+    const std::size_t capacity = std::max<std::size_t>(shard.num_owned(), 1);
+    node.list_a = std::make_unique<simt::Worklist>(dev, capacity, prefix + "list_a");
+    node.list_b = std::make_unique<simt::Worklist>(dev, capacity, prefix + "list_b");
+    node.w_in = node.list_a.get();
+    node.w_out = node.list_b.get();
+    node.w_in->fill_iota(shard.num_owned());  // W_in <- owned(V_k)
+  }
+
+  // Exchange plan: for each owned vertex, where do its ghost copies live?
+  // subscribers[k][local] lists (peer device, peer color slot) pairs; built
+  // once from the partition, iterated every round.
+  struct Subscriber {
+    std::uint32_t peer;
+    vid_t slot;
+  };
+  std::vector<std::vector<std::vector<Subscriber>>> subscribers(parts);
+  for (std::uint32_t k = 0; k < parts; ++k) {
+    subscribers[k].resize(part.shards[k].num_owned());
+  }
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    const graph::Shard& shard = part.shards[p];
+    for (vid_t gi = 0; gi < shard.num_ghosts(); ++gi) {
+      const vid_t global_v = shard.ghosts[gi];
+      const std::uint32_t owner = part.owner[global_v];
+      subscribers[owner][part.local_index[global_v]].push_back(
+          {p, static_cast<vid_t>(shard.num_owned() + gi)});
+    }
+  }
+
+  // Scratch reused across rounds: bytes queued on each directed peer link.
+  std::vector<std::uint64_t> link_bytes(
+      static_cast<std::size_t>(parts) * parts, 0);
+
+  // --- lockstep SGR rounds --------------------------------------------------
+  auto any_live = [&nodes] {
+    return std::any_of(nodes.begin(), nodes.end(),
+                       [](const Node& n) { return !n.w_in->empty(); });
+  };
+  // Write `color` into every ghost copy of device k's owned vertex v and
+  // queue the record on the peer links. Host-side writes through
+  // Buffer::operator[] mark the sanitizer's shadow-init map, so the next
+  // kernel's ghost reads are san-clean.
+  auto ship = [&](std::uint32_t k, std::uint32_t v, color_t color) {
+    for (const Subscriber& s : subscribers[k][v]) {
+      nodes[s.peer].colors[s.slot] = color;
+      link_bytes[static_cast<std::size_t>(k) * parts + s.peer] +=
+          kExchangeRecordBytes;
+      ++nodes[k].sent_colors;
+      ++nodes[s.peer].recv_colors;
+      ++result.exchanged_colors;
+    }
+  };
+  // Charge every nonempty peer link to BOTH endpoints (the link occupies
+  // sender and receiver alike), in (src, dst) order, then clear the queue.
+  auto flush_links = [&] {
+    for (std::uint32_t src = 0; src < parts; ++src) {
+      for (std::uint32_t dst = 0; dst < parts; ++dst) {
+        const std::uint64_t bytes =
+            link_bytes[static_cast<std::size_t>(src) * parts + dst];
+        if (bytes == 0) continue;
+        nodes[src].dev->copy_peer(bytes);
+        nodes[dst].dev->copy_peer(bytes);
+      }
+    }
+    std::fill(link_bytes.begin(), link_bytes.end(), 0);
+  };
+
+  while (any_live()) {
+    SPECKLE_CHECK(result.rounds < opts.max_rounds,
+                  "multidev_color exceeded max_rounds");
+    ++result.rounds;
+
+    // With P > 1 the fleet loses the single device's implicit sweep order
+    // (serial racy blocks color in ascending id, which on the R-MAT graphs
+    // doubles as a largest-degree-first order — their low ids are the
+    // hubs). Recover the bias explicitly: order every worklist by
+    // descending degree (id tiebreak) so the staged sweep colors hubs
+    // fleet-wide before leaves. Host-side and deterministic; skipped at
+    // P=1 to stay bit-identical with data_color's id-order sweep.
+    if (parts > 1) {
+      for (std::uint32_t k = 0; k < parts; ++k) {
+        const graph::CsrGraph& local = part.shards[k].local;
+        std::span<std::uint32_t> items =
+            nodes[k].w_in->items().host().subspan(0, nodes[k].w_in->size());
+        std::sort(items.begin(), items.end(),
+                  [&local](std::uint32_t a, std::uint32_t b) {
+                    const vid_t da = local.degree(a);
+                    const vid_t db = local.degree(b);
+                    return da != db ? da > db : a < b;
+                  });
+      }
+    }
+
+    // Phases 1+2 — speculative coloring (Algorithm 5 lines 4-10 against the
+    // local view: owned colors + ghost copies), staged into sub-rounds with
+    // a boundary exchange after each stage. After every stage the fresh
+    // colors of that stage's boundary vertices ship to every device
+    // ghosting them, folded host-side in (source device, worklist position)
+    // order — deterministic by construction — and each nonempty peer link
+    // is charged to both endpoints. Later stages therefore see earlier
+    // stages' picks across devices, which is what keeps cross-partition
+    // collisions (and with them color inflation) low.
+    std::uint32_t max_count = 0;
+    for (const Node& node : nodes) {
+      max_count = std::max(max_count, node.w_in->size());
+    }
+    // Geometric stage schedule: stage s covers a chunk ~2x the previous
+    // one, so the degree-sorted worklist's hubs (where cross-device
+    // collisions concentrate) are colored in tiny near-serial slices while
+    // the low-degree tail ships in bulk. 2^stages - 1 >= max_count picks
+    // the smallest schedule that starts at chunk size ~1. A single device
+    // has no ghosts to exchange, so it runs one full launch per round —
+    // the stage spans are not block-aligned, and splitting a racy launch
+    // at other boundaries would change the intra-block race schedule and
+    // break bit-identity with the single-device scheme.
+    std::uint32_t stages = 1;
+    while (parts > 1 && stages < opts.subrounds &&
+           ((std::uint64_t{1} << stages) - 1) < max_count) {
+      ++stages;
+    }
+    const std::uint64_t stage_denom = (std::uint64_t{1} << stages) - 1;
+    // [begin, end) of `stage` within a worklist of `count` items: the
+    // geometric schedule scaled proportionally to this device's count.
+    const auto stage_span = [stages, stage_denom](std::uint32_t count,
+                                                  std::uint32_t stage) {
+      const auto edge = [&](std::uint32_t s) {
+        return static_cast<std::uint32_t>(
+            (std::uint64_t{count} * ((std::uint64_t{1} << s) - 1)) /
+            stage_denom);
+      };
+      return std::pair<std::uint32_t, std::uint32_t>{edge(stage),
+                                                     edge(stage + 1)};
+    };
+    for (std::uint32_t k = 0; k < parts; ++k) {
+      if (!nodes[k].w_in->empty()) ++nodes[k].rounds;
+    }
+    for (std::uint32_t stage = 0; stage < stages; ++stage) {
+      for (std::uint32_t k = 0; k < parts; ++k) {
+        Node& node = nodes[k];
+        const auto [begin, end] = stage_span(node.w_in->size(), stage);
+        if (begin >= end) continue;
+        const std::uint32_t items = end - begin;
+        simt::LaunchConfig racy_cfg{
+            (items + opts.block_size - 1) / opts.block_size, opts.block_size};
+        racy_cfg.racy_visibility = true;  // speculation feeds on st_racy races
+        node.dev->launch(racy_cfg, "d" + std::to_string(k) + ".md_color",
+                         [&, begin, items](simt::Thread& t) {
+                           const auto idx = t.global_id();
+                           if (idx >= items) return;
+                           t.compute(2);
+                           const vid_t v = t.ld(node.w_in->items(), begin + idx);
+                           const color_t c = device_first_fit(
+                               t, node.dg, node.colors, v, opts.use_ldg);
+                           t.st_racy(node.colors, v, c);
+                         });
+      }
+
+      // Stage barrier: the exchange starts when the slowest device arrives.
+      align_timelines(nodes);
+
+      for (std::uint32_t k = 0; k < parts; ++k) {
+        Node& node = nodes[k];
+        const auto [begin, end] = stage_span(node.w_in->size(), stage);
+        const auto items = node.w_in->host_items();
+        for (std::uint32_t idx = begin; idx < end; ++idx) {
+          const std::uint32_t v = items[idx];
+          if (subscribers[k][v].empty()) continue;
+          ship(k, v, node.colors[v]);
+        }
+      }
+      flush_links();
+    }
+
+    if (opts.verify_ghosts) {
+      // Every ghost slot must now mirror its owner's color (exchange
+      // soundness — the invariant the cross-device conflict test relies on).
+      for (std::uint32_t p = 0; p < parts; ++p) {
+        const graph::Shard& shard = part.shards[p];
+        for (vid_t gi = 0; gi < shard.num_ghosts(); ++gi) {
+          const vid_t global_v = shard.ghosts[gi];
+          const Node& owner = nodes[part.owner[global_v]];
+          SPECKLE_CHECK(nodes[p].colors[shard.num_owned() + gi] ==
+                            owner.colors[part.local_index[global_v]],
+                        "ghost color out of sync after exchange");
+        }
+      }
+      ++result.ghost_rounds_verified;
+    }
+
+    // Phase 3 — conflict detection with the global-id tie-break; losers
+    // compact into their OWN device's out-worklist (a boundary vertex that
+    // loses a cross-device conflict re-enters its owner's worklist).
+    for (std::uint32_t k = 0; k < parts; ++k) {
+      Node& node = nodes[k];
+      const std::uint32_t count = node.w_in->size();
+      if (count == 0) continue;
+      const simt::LaunchConfig cfg{(count + opts.block_size - 1) / opts.block_size,
+                                   opts.block_size};
+      node.w_out->clear();
+      node.dev->copy_to_device(sizeof(std::uint32_t));  // memset of the out tail
+      node.dev->launch(cfg, "d" + std::to_string(k) + ".md_detect",
+                       [&, count](simt::Thread& t) {
+                         const auto idx = t.global_id();
+                         if (idx >= count) return;
+                         t.compute(2);
+                         const vid_t v = t.ld(node.w_in->items(), idx);
+                         const vid_t global_v =
+                             opts.use_ldg ? t.ldg(node.l2g, v) : t.ld(node.l2g, v);
+                         if (!device_conflict_global(t, node.dg, node.colors,
+                                                     node.l2g, v, global_v,
+                                                     opts.use_ldg)) {
+                           return;
+                         }
+                         if (opts.scan_push) {
+                           t.scan_push(*node.w_out, v);
+                         } else {
+                           const std::uint32_t slot =
+                               t.atomic_add(node.w_out->tail(), 0, 1U);
+                           t.st(node.w_out->items(), slot, v);
+                         }
+                       });
+      node.dev->copy_to_host(sizeof(std::uint32_t));  // read |W_out|
+      std::swap(node.w_in, node.w_out);
+    }
+
+    // Phase 4 — retraction. A loser keeps its conflicting color until it
+    // recolors next round; remote speculators would needlessly avoid that
+    // stale color (with a large cut this compounds into real color
+    // inflation), so ship an "uncolored" marker to every remote ghost copy
+    // of a loser. The owner's local copy stays — local same-round
+    // speculators see exactly what the single-device scheme shows them,
+    // which keeps P=1 bit-identical with data_color. The loser's fresh
+    // color reaches the same ghosts in the next round's exchange, before
+    // any conflict test reads them.
+    for (std::uint32_t k = 0; k < parts; ++k) {
+      for (const std::uint32_t v : nodes[k].w_in->host_items()) {
+        if (subscribers[k][v].empty()) continue;
+        ship(k, v, kUncolored);
+      }
+    }
+    flush_links();
+
+    // Round barrier: next round's speculation starts in lockstep.
+    align_timelines(nodes);
+  }
+
+  // --- gather ---------------------------------------------------------------
+  result.coloring.assign(g.num_vertices(), kUncolored);
+  for (std::uint32_t k = 0; k < parts; ++k) {
+    const graph::Shard& shard = part.shards[k];
+    std::span<const std::uint32_t> colors =
+        std::as_const(nodes[k].colors).host();
+    for (vid_t i = 0; i < shard.num_owned(); ++i) {
+      result.coloring[shard.owned[i]] = colors[i];
+    }
+  }
+  result.num_colors = coloring::count_colors(result.coloring);
+
+  result.devices.reserve(parts);
+  std::uint64_t makespan = 0;
+  for (std::uint32_t k = 0; k < parts; ++k) {
+    Node& node = nodes[k];
+    const graph::Shard& shard = part.shards[k];
+    DeviceBreakdown breakdown;
+    breakdown.device = k;
+    breakdown.owned = shard.num_owned();
+    breakdown.ghosts = shard.num_ghosts();
+    breakdown.cut_edges = shard.cut_edges;
+    breakdown.rounds = node.rounds;
+    breakdown.sent_colors = node.sent_colors;
+    breakdown.recv_colors = node.recv_colors;
+    breakdown.report = node.dev->report();
+    breakdown.san = node.dev->san_report();
+    breakdown.prof = node.dev->prof_report();
+    makespan = std::max(makespan, breakdown.report.total_cycles);
+
+    // Fleet views: kernels concatenate in device order (names carry the
+    // "d<k>." prefix), transfers sum, san/prof findings append.
+    for (const simt::KernelStats& ks : breakdown.report.kernels) {
+      result.fleet_report.kernels.push_back(ks);
+    }
+    const auto add_transfers = [](simt::TransferStats& into,
+                                  const simt::TransferStats& from) {
+      into.bytes += from.bytes;
+      into.cycles += from.cycles;
+      into.count += from.count;
+    };
+    add_transfers(result.fleet_report.h2d, breakdown.report.h2d);
+    add_transfers(result.fleet_report.d2h, breakdown.report.d2h);
+    add_transfers(result.fleet_report.d2d, breakdown.report.d2d);
+    result.san.total += breakdown.san.total;
+    for (const san::Finding& f : breakdown.san.findings) {
+      result.san.findings.push_back(f);
+    }
+    for (const prof::LaunchProfile& lp : breakdown.prof.launches) {
+      result.prof.launches.push_back(lp);
+    }
+    for (const prof::Transfer& tr : breakdown.prof.transfers) {
+      result.prof.transfers.push_back(tr);
+    }
+    result.devices.push_back(std::move(breakdown));
+  }
+  // All timelines meet at the final barrier, so any device's total IS the
+  // fleet makespan; take the max anyway for clarity.
+  result.fleet_report.total_cycles = makespan;
+  result.model_ms = opts.device.cycles_to_ms(makespan);
+  result.wall_ms = wall.milliseconds();
+  return result;
+}
+
+}  // namespace speckle::multidev

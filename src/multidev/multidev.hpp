@@ -1,0 +1,112 @@
+#pragma once
+/// \file multidev.hpp
+/// Multi-device partitioned speculative-greedy coloring (`speckle::multidev`):
+/// shard the CSR graph over P simulated GPUs and run the paper's data-driven
+/// SGR rounds on every shard in lockstep, with a boundary-exchange step
+/// between the speculative-color and conflict-detect kernels of each round.
+///
+/// The scheme is the distributed extension of Algorithm 5 (the recipe of
+/// Boman et al. and of "Parallel Graph Coloring Algorithms for Distributed
+/// GPU Environments", arXiv:2107.00075):
+///
+///   1. every device speculatively first-fit colors its worklist against
+///      its local view (owned colors + ghost copies of cross-partition
+///      neighbors);
+///   2. at a global round barrier, the freshly written colors of boundary
+///      vertices are shipped to every device that ghosts them — modeled as
+///      peer D2D transfers (Device::copy_peer) charged to both endpoints;
+///   3. every device then detects conflicts over its worklist using GLOBAL
+///      vertex ids as the tie-break (the lower global id loses, on-device
+///      and cross-device conflicts alike) and compacts the losers back into
+///      its own worklist — a boundary vertex that loses a cross-device
+///      conflict re-enters its owner's worklist, never a remote one.
+///
+/// Determinism: devices execute their kernels one after another on the
+/// host, exchanges are folded in (source device, worklist position) order
+/// at the round barrier, and device timelines are aligned to the slowest
+/// device at each barrier — so colors, rounds, per-device reports and the
+/// fleet makespan are bit-identical at every DeviceConfig::host_threads
+/// value, and with P devices the result depends only on (graph, partition,
+/// options). Each shard gets its own Device, so `speckle::san` findings and
+/// `speckle::prof` counters are attributed per device via the "d<k>."
+/// buffer/kernel name prefixes.
+
+#include <cstdint>
+#include <vector>
+
+#include "coloring/coloring.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+#include "prof/prof.hpp"
+#include "simt/config.hpp"
+#include "simt/san.hpp"
+#include "simt/stats.hpp"
+
+namespace speckle::multidev {
+
+struct MultiDevOptions {
+  std::uint32_t num_devices = 1;
+  graph::PartitionKind partitioner = graph::PartitionKind::kContiguous;
+  std::uint32_t block_size = 128;
+  bool use_ldg = false;     ///< route topology (and l2g) reads via the RO cache
+  bool scan_push = true;    ///< prefix-sum worklist push (false: per-item atomics)
+  std::uint32_t max_rounds = 100000;
+  /// Each round's speculation is staged into up to this many sub-rounds
+  /// with a ghost exchange after each, so later chunks see earlier chunks'
+  /// picks ACROSS devices. Chunk sizes grow geometrically (~2x per stage):
+  /// the worklists are sorted by descending degree at P>1, so the hubs —
+  /// where cross-partition collisions concentrate and drive color
+  /// inflation — are colored in tiny near-serial slices while the
+  /// low-degree tail ships in bulk. A worklist of W items therefore uses
+  /// about log2(W) stages; this field only caps that. Ignored at P=1 (one
+  /// stage): a lone device has nothing to exchange, and one full launch
+  /// per round keeps the scheme bit-identical with single-device D-ldg.
+  std::uint32_t subrounds = 24;
+  std::uint64_t seed = 0x5eed;  ///< hash partitioner seed; must be nonzero
+  /// Per-device machine model; every device in the fleet is identical.
+  simt::DeviceConfig device = simt::DeviceConfig::k20c();
+  /// Host-side invariant check after every exchange: each ghost slot must
+  /// equal its owner's current color. O(total ghosts) per round; used by
+  /// the fuzz/property tests, off in production runs.
+  bool verify_ghosts = false;
+};
+
+/// One device's share of a multi-device run.
+struct DeviceBreakdown {
+  std::uint32_t device = 0;
+  graph::vid_t owned = 0;
+  graph::vid_t ghosts = 0;
+  std::uint64_t cut_edges = 0;      ///< owned→ghost CSR entries on this shard
+  std::uint32_t rounds = 0;         ///< rounds this device had live work
+  std::uint64_t sent_colors = 0;    ///< boundary colors shipped to peers
+  std::uint64_t recv_colors = 0;    ///< ghost updates received from peers
+  simt::DeviceReport report;        ///< kernels, transfers, timeline
+  san::Report san;                  ///< per-device sanitizer findings
+  prof::Report prof;                ///< per-device profile (when enabled)
+};
+
+struct MultiDevResult {
+  coloring::Coloring coloring;      ///< global vertex order
+  coloring::color_t num_colors = 0;
+  std::uint32_t rounds = 0;         ///< global lockstep rounds
+  std::uint64_t cut_edges = 0;      ///< directed cut of the partition
+  std::uint64_t exchanged_colors = 0;  ///< total ghost updates shipped
+  std::uint32_t ghost_rounds_verified = 0;  ///< verify_ghosts passes run
+  double model_ms = 0.0;  ///< fleet makespan (all timelines align at barriers)
+  double wall_ms = 0.0;   ///< host wall clock of the whole simulation
+  std::vector<DeviceBreakdown> devices;  ///< one entry per device, in order
+  /// Fleet-level views: the kernel logs of every device concatenated in
+  /// device order (kernel names carry the "d<k>." prefix), transfer totals
+  /// summed, total_cycles = the makespan; san findings appended in device
+  /// order; profiler launches/transfers appended in device order.
+  simt::DeviceReport fleet_report;
+  san::Report san;
+  prof::Report prof;
+};
+
+/// Color `g` on `opts.num_devices` simulated devices. Aborts on option
+/// misuse (seed 0, zero devices); the caller verifies the coloring (the
+/// runner does, and the tests use the shared oracle).
+MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& opts);
+
+}  // namespace speckle::multidev

@@ -285,7 +285,13 @@ void Profiler::end_launch(const simt::KernelStats& stats) {
 
 void Profiler::on_transfer(bool h2d, std::uint64_t bytes, std::uint64_t cycles,
                            std::uint64_t start_cycle) {
-  report_.transfers.push_back({h2d, bytes, cycles, start_cycle});
+  report_.transfers.push_back({h2d, /*d2d=*/false, bytes, cycles, start_cycle});
+}
+
+void Profiler::on_transfer_d2d(std::uint64_t bytes, std::uint64_t cycles,
+                               std::uint64_t start_cycle) {
+  report_.transfers.push_back({/*h2d=*/false, /*d2d=*/true, bytes, cycles,
+                               start_cycle});
 }
 
 void Profiler::reset() {

@@ -149,12 +149,15 @@ struct LaunchProfile {
   bool operator==(const LaunchProfile&) const = default;
 };
 
-/// One modeled PCIe transfer, for the trace export.
+/// One modeled transfer (PCIe h2d/d2h, or a peer d2d exchange), for the
+/// trace export.
 struct Transfer {
   bool h2d = false;
+  bool d2d = false;  ///< peer exchange; when set, h2d is meaningless
   std::uint64_t bytes = 0;
   std::uint64_t cycles = 0;
   std::uint64_t start_cycle = 0;
+  const char* dir_name() const { return d2d ? "d2d" : (h2d ? "h2d" : "d2h"); }
   bool operator==(const Transfer&) const = default;
 };
 
@@ -227,6 +230,9 @@ class Profiler {
 
   void on_transfer(bool h2d, std::uint64_t bytes, std::uint64_t cycles,
                    std::uint64_t start_cycle);
+  /// Record a peer (device-to-device) exchange on this device's timeline.
+  void on_transfer_d2d(std::uint64_t bytes, std::uint64_t cycles,
+                       std::uint64_t start_cycle);
 
   /// Drop everything recorded so far (Device::reset_report after warm-up);
   /// the allocation registry survives.

@@ -53,6 +53,13 @@ struct DeviceConfig {
   double pcie_latency_us = 8.0;
   double pcie_gbps = 6.0;
 
+  // --- interconnect (multi-device fleets, speckle::multidev) ---------------
+  /// Device-to-device peer transfer: setup latency plus link bandwidth.
+  /// Defaults model Kepler-era PCIe peer-to-peer (no NVLink on a K20c):
+  /// somewhat cheaper than a host round trip, far costlier than DRAM.
+  double d2d_latency_us = 8.0;
+  double d2d_gbps = 10.0;
+
   // --- host simulation (not a property of the modeled GPU) -----------------
   /// Worker threads the *simulator* uses to execute the blocks of a wave and
   /// the per-SM timing loops. 0 = one per hardware thread. Results are

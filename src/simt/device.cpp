@@ -458,6 +458,17 @@ void Device::copy_to_host(std::uint64_t bytes) {
   report_.total_cycles += cycles;
 }
 
+void Device::copy_peer(std::uint64_t bytes) {
+  const std::uint64_t cycles = d2d_transfer_cycles(config_, bytes);
+  if (prof_ != nullptr) {
+    prof_->on_transfer_d2d(bytes, cycles, report_.total_cycles);
+  }
+  report_.d2d.bytes += bytes;
+  report_.d2d.cycles += cycles;
+  ++report_.d2d.count;
+  report_.total_cycles += cycles;
+}
+
 void Device::charge_host_cycles(std::uint64_t cycles) { report_.total_cycles += cycles; }
 
 void Device::reset_report() {

@@ -76,6 +76,14 @@ class Device {
   void copy_to_device(std::uint64_t bytes);
   void copy_to_host(std::uint64_t bytes);
 
+  /// Charge a peer (device-to-device) transfer of `bytes` to this device's
+  /// timeline (interconnect latency + bandwidth model; see
+  /// d2d_transfer_cycles in timing.hpp). The multi-device runner charges
+  /// both endpoints of a boundary exchange — the link occupies source and
+  /// destination alike. Data movement itself is host-side, as with the
+  /// PCIe transfers above.
+  void copy_peer(std::uint64_t bytes);
+
   /// Advance the timeline by host-side work of `cycles` *device* cycles
   /// (used when a hybrid scheme does real work on the CPU, e.g. the 3-step
   /// GM conflict resolution; callers convert from CPU-model cycles).

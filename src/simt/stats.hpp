@@ -110,6 +110,7 @@ struct DeviceReport {
   std::vector<KernelStats> kernels;
   TransferStats h2d;
   TransferStats d2h;
+  TransferStats d2d;  ///< peer exchanges (multi-device boundary traffic)
   std::uint64_t total_cycles = 0;
 
   /// Aggregate stall breakdown over all kernels (weighted by SM-cycles).

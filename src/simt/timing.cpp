@@ -13,6 +13,12 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
+std::uint64_t d2d_transfer_cycles(const DeviceConfig& dev, std::uint64_t bytes) {
+  const double us =
+      dev.d2d_latency_us + static_cast<double>(bytes) / (dev.d2d_gbps * 1e3);
+  return dev.us_to_cycles(us);
+}
+
 TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
                                              const std::vector<const BlockWork*>& blocks,
                                              double start, KernelStats& stats,

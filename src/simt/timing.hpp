@@ -31,6 +31,12 @@ class ThreadPool;
 
 namespace speckle::simt {
 
+/// Cycles to move `bytes` between two peer devices over the modeled
+/// interconnect (DeviceConfig::d2d_latency_us/d2d_gbps): a fixed setup
+/// latency plus the bandwidth term, mirroring the PCIe host-transfer model.
+/// Used by Device::copy_peer for the multi-device boundary exchanges.
+std::uint64_t d2d_transfer_cycles(const DeviceConfig& dev, std::uint64_t bytes);
+
 /// One thread block's merged warp traces, ready for timing. The warps
 /// vector is a grow-only pool (shrinking would free the SoA buffers the
 /// reuse depends on); the first `active` entries are this block's.

@@ -1,0 +1,72 @@
+#pragma once
+/// \file check_coloring.hpp
+/// Shared conformance oracle for every coloring test in the suite.
+///
+/// All coloring tests — sequential, parallel, GPU, extension, and
+/// multi-device — must validate results through the same predicate, so a
+/// scheme cannot pass by being checked against a weaker local definition
+/// of "valid". The oracle is independent of the schemes under test: it
+/// walks the CSR directly rather than trusting coloring::verify_coloring
+/// (which the library itself implements and could share a bug with).
+///
+/// Use with EXPECT_TRUE/ASSERT_TRUE; failures print the first offending
+/// vertex or edge:
+///
+///   EXPECT_TRUE(IsProperColoring(g, result.coloring));
+///   EXPECT_TRUE(IsGreedyColoring(g, result.coloring));  // also bounds Δ+1
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "coloring/coloring.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace speckle::testing {
+
+/// Every vertex colored (no kUncolored) and no monochromatic edge.
+inline ::testing::AssertionResult IsProperColoring(
+    const graph::CsrGraph& g, const coloring::Coloring& coloring) {
+  if (coloring.size() != g.num_vertices()) {
+    return ::testing::AssertionFailure()
+           << "coloring has " << coloring.size() << " entries for "
+           << g.num_vertices() << " vertices";
+  }
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (coloring[v] == coloring::kUncolored) {
+      return ::testing::AssertionFailure()
+             << "vertex " << v << " is uncolored";
+    }
+  }
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const graph::vid_t w : g.neighbors(v)) {
+      if (coloring[v] == coloring[w]) {
+        return ::testing::AssertionFailure()
+               << "monochromatic edge (" << v << ", " << w << "): both color "
+               << coloring[v];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Proper, and uses at most Δ+1 colors — the bound every greedy
+/// (first-fit / speculative-greedy) scheme must satisfy regardless of
+/// vertex order, partitioning, or conflict-resolution history.
+inline ::testing::AssertionResult IsGreedyColoring(
+    const graph::CsrGraph& g, const coloring::Coloring& coloring) {
+  const ::testing::AssertionResult proper = IsProperColoring(g, coloring);
+  if (!proper) return proper;
+  const coloring::color_t used =
+      coloring.empty() ? 0 : *std::max_element(coloring.begin(), coloring.end());
+  const coloring::color_t bound = g.max_degree() + 1;
+  if (used > bound) {
+    return ::testing::AssertionFailure()
+           << "uses " << used << " colors; greedy bound is max_degree + 1 = "
+           << bound;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace speckle::testing

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check_coloring.hpp"
 #include "coloring/balance.hpp"
 #include "coloring/seq_greedy.hpp"
 #include "graph/builder.hpp"
@@ -11,6 +12,7 @@ namespace {
 
 using namespace speckle;
 using namespace speckle::coloring;
+using speckle::testing::IsProperColoring;
 using graph::build_csr;
 using graph::CsrGraph;
 using graph::vid_t;
@@ -19,7 +21,7 @@ TEST(Balance, KeepsColoringProper) {
   const CsrGraph g = build_csr(1000, graph::erdos_renyi(1000, 6000, 3));
   const auto seq = seq_greedy(g, {.charge_model = false});
   const BalanceResult r = balance_colors(g, seq.coloring);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
 }
 
 TEST(Balance, NeverIncreasesColorCount) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check_coloring.hpp"
 #include "coloring/distance2.hpp"
 #include "graph/bfs.hpp"
 #include "graph/builder.hpp"
@@ -12,6 +13,7 @@ namespace {
 
 using namespace speckle;
 using namespace speckle::coloring;
+using speckle::testing::IsProperColoring;
 using graph::build_csr;
 using graph::CsrGraph;
 using graph::vid_t;
@@ -85,7 +87,7 @@ TEST(GpuD2, DistanceTwoStrongerThanDistanceOne) {
   // colors as the D1 greedy on the same graph.
   const CsrGraph g = d2_grid();
   const GpuResult gpu = topo_color_d2(g);
-  EXPECT_TRUE(verify_coloring(g, gpu.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, gpu.coloring));
   EXPECT_GE(gpu.num_colors, 5U);
 }
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check_coloring.hpp"
 #include "coloring/gm3step.hpp"
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
@@ -14,6 +15,7 @@ namespace {
 
 using namespace speckle;
 using namespace speckle::coloring;
+using speckle::testing::IsProperColoring;
 using graph::build_csr;
 using graph::CsrGraph;
 using graph::vid_t;
@@ -42,7 +44,7 @@ TEST_P(ExtSweep, ProperColoring) {
   const auto& [graph_case, scheme] = GetParam();
   const CsrGraph g = graph_case.make();
   const RunResult r = run_scheme(scheme, g);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
   EXPECT_LE(r.num_colors, g.max_degree() + 1);
 }
 
@@ -79,7 +81,7 @@ TEST(DataWarp, WorksAcrossBlockSizes) {
     RunOptions opts;
     opts.block_size = block;
     const RunResult r = run_scheme(Scheme::kDataWarp, g, opts);
-    EXPECT_TRUE(verify_coloring(g, r.coloring).proper) << block;
+    EXPECT_TRUE(IsProperColoring(g, r.coloring)) << block;
   }
 }
 
@@ -104,7 +106,7 @@ TEST(Gm3Step, PartitionSizeSweepStaysProper) {
     Gm3Options opts;
     opts.partition_size = psize;
     const Gm3Result r = gm3step_color(g, opts);
-    EXPECT_TRUE(verify_coloring(g, r.coloring).proper) << psize;
+    EXPECT_TRUE(IsProperColoring(g, r.coloring)) << psize;
   }
 }
 
@@ -116,8 +118,8 @@ TEST(Gm3Step, MoreGpuRoundsLeaveFewerCpuConflicts) {
   four.gpu_rounds = 4;
   const Gm3Result r1 = gm3step_color(g, one);
   const Gm3Result r4 = gm3step_color(g, four);
-  EXPECT_TRUE(verify_coloring(g, r1.coloring).proper);
-  EXPECT_TRUE(verify_coloring(g, r4.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r1.coloring));
+  EXPECT_TRUE(IsProperColoring(g, r4.coloring));
   EXPECT_LE(r4.cpu_resolved, r1.cpu_resolved);
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check_coloring.hpp"
 #include "coloring/gm_omp.hpp"
 #include "coloring/jp.hpp"
 #include "coloring/seq_greedy.hpp"
@@ -12,6 +13,7 @@ namespace {
 
 using namespace speckle;
 using namespace speckle::coloring;
+using speckle::testing::IsProperColoring;
 using graph::build_csr;
 using graph::CsrGraph;
 
@@ -33,7 +35,7 @@ class ParallelCpuSweep : public ::testing::TestWithParam<GraphCase> {};
 TEST_P(ParallelCpuSweep, JonesPlassmannIsProper) {
   const CsrGraph g = GetParam().make();
   const JpResult r = jones_plassmann(g);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper) << GetParam().name;
+  EXPECT_TRUE(IsProperColoring(g, r.coloring)) << GetParam().name;
   EXPECT_GE(r.rounds, 1U);
   EXPECT_EQ(r.num_colors, r.rounds);  // JP assigns one color per round
 }
@@ -41,7 +43,7 @@ TEST_P(ParallelCpuSweep, JonesPlassmannIsProper) {
 TEST_P(ParallelCpuSweep, GmOpenMpIsProper) {
   const CsrGraph g = GetParam().make();
   const GmOmpResult r = gm_openmp(g);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper) << GetParam().name;
+  EXPECT_TRUE(IsProperColoring(g, r.coloring)) << GetParam().name;
   EXPECT_LE(r.num_colors, g.max_degree() + 1);
 }
 
@@ -78,7 +80,7 @@ TEST(JonesPlassmann, SeedChangesColoring) {
 TEST(JonesPlassmann, RedrawVariantAlsoProper) {
   const CsrGraph g = make_rmat();
   const JpResult r = jones_plassmann(g, {.seed = 1, .redraw_priorities = true});
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
 }
 
 TEST(JonesPlassmann, EmptyGraph) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check_coloring.hpp"
 #include "coloring/partial_d2.hpp"
 #include "coloring/seq_greedy.hpp"
 #include "graph/bipartite.hpp"
@@ -11,6 +12,7 @@ namespace {
 
 using namespace speckle;
 using namespace speckle::coloring;
+using speckle::testing::IsProperColoring;
 using graph::Nonzero;
 using graph::SparsePattern;
 using graph::vid_t;
@@ -77,7 +79,7 @@ TEST_P(PatternSweep, EquivalenceWithIntersectionGraphColoring) {
 
   const PartialD2Result direct = partial_d2_greedy(p);
   EXPECT_TRUE(verify_partial_d2(p, direct.coloring).proper);
-  EXPECT_TRUE(verify_coloring(g, direct.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, direct.coloring));
 
   const SeqResult via_graph = seq_greedy(g, {.charge_model = false});
   EXPECT_TRUE(verify_partial_d2(p, via_graph.coloring).proper);

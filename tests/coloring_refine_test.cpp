@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check_coloring.hpp"
 #include "coloring/refine.hpp"
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
@@ -12,6 +13,7 @@ namespace {
 
 using namespace speckle;
 using namespace speckle::coloring;
+using speckle::testing::IsProperColoring;
 using graph::build_csr;
 using graph::CsrGraph;
 using graph::vid_t;
@@ -20,7 +22,7 @@ TEST(Refine, NeverIncreasesColorsAndStaysProper) {
   const CsrGraph g = build_csr(1200, graph::erdos_renyi(1200, 9000, 3));
   const auto seq = seq_greedy(g, {.charge_model = false});
   const RefineResult r = iterated_greedy(g, seq.coloring);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
   EXPECT_LE(r.colors_after, r.colors_before);
 }
 
@@ -31,7 +33,7 @@ TEST(Refine, ImprovesDeliberatelyBadColoring) {
   Coloring wasteful(64);
   for (vid_t v = 0; v < 64; ++v) wasteful[v] = v + 1;
   const RefineResult r = iterated_greedy(g, wasteful, {.rounds = 8});
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
   EXPECT_EQ(r.colors_before, 64U);
   EXPECT_LE(r.colors_after, 4U);
 }
@@ -55,7 +57,7 @@ TEST(Refine, LargestFirstOrderAlsoValid) {
   RefineOptions opts;
   opts.order = ClassOrder::kLargestFirst;
   const RefineResult r = iterated_greedy(g, seq.coloring, opts);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
   EXPECT_LE(r.colors_after, r.colors_before);
 }
 

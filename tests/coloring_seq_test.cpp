@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check_coloring.hpp"
 #include "coloring/ordering.hpp"
 #include "coloring/seq_greedy.hpp"
 #include "graph/builder.hpp"
@@ -11,6 +12,7 @@ namespace {
 
 using namespace speckle;
 using namespace speckle::coloring;
+using speckle::testing::IsProperColoring;
 using graph::build_csr;
 using graph::CsrGraph;
 using graph::vid_t;
@@ -24,7 +26,7 @@ TEST(Verify, DetectsConflictsAndUncolored) {
   Coloring partial = {1, 2, kUncolored};
   EXPECT_EQ(verify_coloring(g, partial).uncolored, 1U);
   Coloring good = {1, 2, 1};
-  EXPECT_TRUE(verify_coloring(g, good).proper);
+  EXPECT_TRUE(IsProperColoring(g, good));
   EXPECT_EQ(verify_coloring(g, good).num_colors, 2U);
 }
 
@@ -40,14 +42,14 @@ TEST(Verify, HistogramAndBalance) {
 TEST(SeqGreedy, TriangleNeedsThreeColors) {
   const CsrGraph g = build_csr(3, {{0, 1}, {1, 2}, {0, 2}});
   const SeqResult r = seq_greedy(g);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
   EXPECT_EQ(r.num_colors, 3U);
 }
 
 TEST(SeqGreedy, BipartiteStencilUsesTwoColors) {
   const CsrGraph g = build_csr(100, graph::stencil2d(10, 10));
   const SeqResult r = seq_greedy(g);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
   EXPECT_EQ(r.num_colors, 2U);
 }
 
@@ -74,7 +76,7 @@ TEST(SeqGreedy, IsolatedVerticesGetColorOne) {
 TEST(SeqGreedy, BoundedByMaxDegreePlusOne) {
   const CsrGraph g = build_csr(500, graph::erdos_renyi(500, 3000, 9));
   const SeqResult r = seq_greedy(g);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper);
+  EXPECT_TRUE(IsProperColoring(g, r.coloring));
   EXPECT_LE(r.num_colors, g.max_degree() + 1);
 }
 
@@ -116,7 +118,7 @@ TEST_P(OrderingSweep, AllOrderingsProduceProperColorings) {
   opts.ordering = GetParam();
   opts.charge_model = false;
   const SeqResult r = seq_greedy(g, opts);
-  EXPECT_TRUE(verify_coloring(g, r.coloring).proper)
+  EXPECT_TRUE(IsProperColoring(g, r.coloring))
       << ordering_name(GetParam());
   EXPECT_LE(r.num_colors, g.max_degree() + 1);
 }

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check_coloring.hpp"
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
 #include "graph/builder.hpp"
@@ -14,6 +15,7 @@ namespace {
 
 using namespace speckle;
 using namespace speckle::coloring;
+using speckle::testing::IsProperColoring;
 using graph::CsrGraph;
 using graph::vid_t;
 
@@ -44,7 +46,7 @@ TEST(Integration, EverySuiteGraphColorsProperlyUnderEveryPaperScheme) {
     const CsrGraph g = graph::make_suite_graph(entry.name, 128);
     for (Scheme s : paper_schemes()) {
       const RunResult r = run_scheme(s, g, scaled_options());
-      EXPECT_TRUE(verify_coloring(g, r.coloring).proper)
+      EXPECT_TRUE(IsProperColoring(g, r.coloring))
           << entry.name << " / " << scheme_name(s);
     }
   }

@@ -7,6 +7,11 @@
 ///   speckle_color --graph=matrix.mtx [--scheme=D-ldg] [--block=128]
 ///                 [--out=colors.txt] [--balance] [--refine] [--distance2]
 ///                 [--device-report] [--sanitize] [--seed=1] [--threads=N]
+///                 [--devices=P] [--partitioner=contiguous|hash]
+///
+/// --devices=P shards the graph over P simulated GPUs (speckle::multidev;
+/// data-driven schemes only) and prints a per-device breakdown; the
+/// partitioner defaults to contiguous.
 ///
 /// --threads=N sets the host threads of the simulator's wave executor
 /// (0 = one per hardware thread, the default). Colors and simulated times
@@ -66,9 +71,15 @@ int main(int argc, char** argv) {
   const std::string profile_out = opts.get_string("profile-out", "profile");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   const auto threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
+  const auto devices = static_cast<std::uint32_t>(opts.get_int("devices", 1));
+  const std::string partitioner = opts.get_string("partitioner", "contiguous");
   opts.validate({"graph", "suite", "denom", "scheme", "block", "out", "balance",
                  "refine", "distance2", "device-report", "sanitize", "profile",
-                 "profile-out", "seed", "threads"});
+                 "profile-out", "seed", "threads", "devices", "partitioner"});
+  SPECKLE_CHECK(seed != 0,
+                "--seed=0 is reserved (it collapses the repo's derived-seed "
+                "products); pass a nonzero seed");
+  SPECKLE_CHECK(devices >= 1, "--devices needs at least 1");
   SPECKLE_CHECK(profile_mode == "off" || profile_mode == "true" ||
                     profile_mode == "json" || profile_mode == "trace" ||
                     profile_mode == "both",
@@ -100,6 +111,7 @@ int main(int argc, char** argv) {
   prof::Report prof;
   simt::DeviceConfig dev_cfg = simt::DeviceConfig::k20c();
   if (distance2) {
+    SPECKLE_CHECK(devices == 1, "--distance2 has no multi-device path");
     coloring::GpuOptions gpu;
     gpu.block_size = block;
     gpu.device.host_threads = threads;
@@ -119,6 +131,8 @@ int main(int argc, char** argv) {
     coloring::RunOptions run;
     run.block_size = block;
     run.seed = seed;
+    run.num_devices = devices;
+    run.partitioner = graph::partition_kind_from_name(partitioner);
     run.device.host_threads = threads;
     run.device.sanitize = sanitize;
     run.device.profile = profiling;
@@ -132,6 +146,19 @@ int main(int argc, char** argv) {
     std::cout << scheme_name << ": " << num_colors << " colors in " << r.iterations
               << " iterations, " << r.model_ms << " ms simulated, " << r.wall_ms
               << " ms host wall\n";
+    if (devices > 1) {
+      std::cout << "devices: " << devices << " (" << partitioner
+                << " partition), cut=" << r.cut_edges
+                << " directed edges, exchanged=" << r.exchanged_colors
+                << " ghost colors\n";
+      for (const auto& d : r.devices) {
+        std::cout << "  d" << d.device << ": owned=" << d.owned
+                  << " ghosts=" << d.ghosts << " cut=" << d.cut_edges
+                  << " rounds=" << d.rounds << " sent=" << d.sent_colors
+                  << " recv=" << d.recv_colors << " d2d=" << d.report.d2d.bytes
+                  << "B\n";
+      }
+    }
     if (device_report && !r.report.kernels.empty()) {
       std::cout << simt::format_kernel_table(r.report, run.device)
                 << "stall breakdown:\n"

@@ -33,6 +33,10 @@ int main(int argc, char** argv) {
   const std::string out = opts.get_string("out", "");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   (void)opts.get_int("threads", 0);  // accepted for speckle_color symmetry
+  SPECKLE_CHECK(seed != 0,
+                "--seed=0 is reserved (the suite derives sub-seeds as "
+                "seed+k / seed*k products, which seed 0 collapses); pass a "
+                "nonzero seed");
   SPECKLE_CHECK(!out.empty(), "--out=<path.mtx> is required");
   SPECKLE_CHECK(suite.empty() != gen.empty(),
                 "pass exactly one of --suite=<name> or --gen=<kind>");
