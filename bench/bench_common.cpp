@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "graph/cache.hpp"
 #include "graph/suite.hpp"
 #include "support/check.hpp"
 
@@ -34,6 +35,8 @@ BenchContext parse_context(int argc, char** argv,
       graph::partition_kind_from_name(opts.get_string("partitioner", "contiguous"));
   ctx.profile = opts.get_bool("profile", false);
   ctx.csv = opts.get_bool("csv", false);
+  ctx.graph_cache =
+      graph::resolve_graph_cache_dir(opts.get_string("graph-cache", ""));
   SPECKLE_CHECK(ctx.seed != 0,
                 "--seed=0 is reserved (benches derive sub-seeds as seed*k "
                 "products); pass a nonzero seed");
@@ -51,9 +54,10 @@ BenchContext parse_context(int argc, char** argv,
     }
   }
 
-  std::vector<std::string> known = {"denom",   "block", "seed",
+  std::vector<std::string> known = {"denom",   "block",   "seed",
                                     "threads", "devices", "partitioner",
-                                    "profile", "csv",   "graphs"};
+                                    "profile", "csv",     "graphs",
+                                    "graph-cache"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   opts.validate(known);
   return ctx;
@@ -64,7 +68,10 @@ const graph::CsrGraph& get_graph(const BenchContext& ctx, const std::string& nam
   const auto key = std::make_pair(name, ctx.denom);
   auto it = cache.find(key);
   if (it == cache.end()) {
-    it = cache.emplace(key, graph::make_suite_graph(name, ctx.denom, ctx.seed * 0x5eed))
+    it = cache
+             .emplace(key, graph::make_suite_graph_cached(
+                               name, ctx.denom, ctx.seed * 0x5eed,
+                               ctx.graph_cache))
              .first;
   }
   return it->second;

@@ -14,10 +14,14 @@
 ///                bit-identical for every value; only wall-clock changes.
 ///   --devices=P  shard each run over P simulated GPUs (speckle::multidev;
 ///                data-driven schemes only; default 1)
-///   --partitioner=contiguous|hash  multi-device vertex partitioner
+///   --partitioner=contiguous|hash|bfs  multi-device vertex partitioner
 ///   --profile    run the schemes under the speckle::prof profiling layer
 ///                (benches that support it print a counter summary)
 ///   --csv        emit CSV after the human-readable table
+///   --graph-cache=DIR  binary on-disk cache for the generated suite
+///                graphs, keyed by (name, denom, seed) with a format
+///                version guard (src/graph/cache.hpp). Also enabled by the
+///                SPECKLE_GRAPH_CACHE environment variable; the flag wins.
 
 #include <string>
 #include <vector>
@@ -39,6 +43,7 @@ struct BenchContext {
   graph::PartitionKind partitioner = graph::PartitionKind::kContiguous;
   bool profile = false;       ///< enable DeviceConfig::profile
   bool csv = false;
+  std::string graph_cache;    ///< on-disk CSR cache dir; "" = disabled
   std::vector<std::string> graphs;  ///< suite names, Table I order
 
   /// Run options with cache capacities scaled by `denom`.

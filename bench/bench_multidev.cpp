@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
   const coloring::Scheme scheme = coloring::scheme_from_name(scheme_arg);
 
   support::Table table({"graph", "P", "partitioner", "colors", "vs P=1", "rounds",
-                        "cut edges", "ghost colors", "d2d KB", "model ms",
-                        "speedup"});
+                        "cut edges", "ghost colors", "d2d KB", "hidden ms",
+                        "stall ms", "model ms", "speedup"});
   std::ostringstream json_runs;
   bool first_run = true;
   for (const std::string& name : ctx.graphs) {
@@ -65,6 +65,13 @@ int main(int argc, char** argv) {
       const double vs_base =
           base_colors > 0 ? static_cast<double>(r.num_colors) / base_colors : 1.0;
       const double speedup = r.model_ms > 0.0 ? base_ms / r.model_ms : 1.0;
+      std::uint64_t stall_cycles = 0;
+      std::uint64_t batches = 0;
+      for (const prof::ExchangeRound& er : r.exchange_rounds) {
+        stall_cycles += er.stall_cycles;
+        batches += er.batches;
+      }
+      const double stall_ms = run.device.cycles_to_ms(stall_cycles);
       table.row()
           .cell(name)
           .cell_u64(p)
@@ -75,6 +82,8 @@ int main(int argc, char** argv) {
           .cell_u64(r.cut_edges)
           .cell_u64(r.exchanged_colors)
           .cell_f(static_cast<double>(r.report.d2d.bytes) / 1024.0, 1)
+          .cell_f(r.hidden_ms, 4)
+          .cell_f(stall_ms, 4)
           .cell_f(r.model_ms, 4)
           .cell_ratio(speedup, 2);
       if (!json_path.empty()) {
@@ -89,6 +98,9 @@ int main(int argc, char** argv) {
                   << ", \"cut_edges\": " << r.cut_edges
                   << ", \"exchanged_colors\": " << r.exchanged_colors
                   << ", \"d2d_bytes\": " << r.report.d2d.bytes
+                  << ", \"exchange_batches\": " << batches
+                  << ", \"hidden_ms\": " << r.hidden_ms
+                  << ", \"stall_ms\": " << stall_ms
                   << ", \"model_ms\": " << r.model_ms
                   << ", \"speedup_vs_p1\": " << speedup << "}";
       }

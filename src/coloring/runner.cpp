@@ -111,6 +111,8 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
     result.devices = std::move(r.devices);
     result.cut_edges = r.cut_edges;
     result.exchanged_colors = r.exchanged_colors;
+    result.exchange_rounds = std::move(r.exchange_rounds);
+    result.hidden_ms = r.hidden_ms;
     result.num_colors = count_colors(result.coloring);
     const VerifyResult verify = verify_coloring(g, result.coloring);
     SPECKLE_CHECK(verify.proper, std::string(scheme_name(s)) +

@@ -85,6 +85,11 @@ struct RunResult {
   std::vector<multidev::DeviceBreakdown> devices;
   std::uint64_t cut_edges = 0;         ///< directed cut of the partition
   std::uint64_t exchanged_colors = 0;  ///< ghost updates shipped over D2D
+  /// Per-round exchange batches (count/bytes/hidden/stall) and the fleet
+  /// total of exchange cycles the compute overlap hid, in milliseconds.
+  /// Empty/zero on single-device runs.
+  std::vector<prof::ExchangeRound> exchange_rounds;
+  double hidden_ms = 0.0;
 };
 
 /// Run one scheme on one graph. Aborts if the scheme produced an improper

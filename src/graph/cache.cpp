@@ -1,0 +1,144 @@
+#include "graph/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/suite.hpp"
+
+namespace speckle::graph {
+
+namespace {
+
+constexpr std::uint64_t kCacheMagic = 0x53504b2d43535231ULL;  // "SPK-CSR1"
+
+struct CacheHeader {
+  std::uint64_t magic = kCacheMagic;
+  std::uint32_t version = kGraphCacheVersion;
+  std::uint32_t vid_bytes = sizeof(vid_t);
+  std::uint32_t eid_bytes = sizeof(eid_t);
+  std::uint32_t denom = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t name_hash = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+};
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Re-check every CsrGraph invariant on untrusted bytes, so a torn or
+/// bit-rotted cache file regenerates instead of aborting the constructor.
+bool csr_arrays_valid(const std::vector<eid_t>& row,
+                      const std::vector<vid_t>& col) {
+  if (row.empty() || row.front() != 0) return false;
+  if (row.back() != col.size()) return false;
+  const vid_t n = static_cast<vid_t>(row.size() - 1);
+  for (vid_t v = 0; v < n; ++v) {
+    if (row[v + 1] < row[v]) return false;
+    for (eid_t e = row[v]; e < row[v + 1]; ++e) {
+      if (col[e] >= n) return false;
+      if (col[e] == v) return false;  // self loop
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string resolve_graph_cache_dir(const std::string& flag) {
+  if (!flag.empty()) return flag;
+  if (const char* env = std::getenv("SPECKLE_GRAPH_CACHE")) return env;
+  return "";
+}
+
+std::string graph_cache_path(const std::string& dir, const std::string& name,
+                             std::uint32_t denom, std::uint64_t seed) {
+  std::ostringstream out;
+  out << dir << '/' << name << ".d" << denom << ".s" << std::hex << seed
+      << ".v" << std::dec << kGraphCacheVersion << ".csr";
+  return out.str();
+}
+
+bool load_cached_graph(const std::string& path, const std::string& name,
+                       std::uint32_t denom, std::uint64_t seed,
+                       CsrGraph* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  CacheHeader hdr;
+  in.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (!in.good()) return false;
+  if (hdr.magic != kCacheMagic || hdr.version != kGraphCacheVersion ||
+      hdr.vid_bytes != sizeof(vid_t) || hdr.eid_bytes != sizeof(eid_t) ||
+      hdr.denom != denom || hdr.seed != seed ||
+      hdr.name_hash != fnv1a64(name)) {
+    return false;
+  }
+  std::vector<eid_t> row(hdr.num_vertices + 1);
+  std::vector<vid_t> col(hdr.num_edges);
+  in.read(reinterpret_cast<char*>(row.data()),
+          static_cast<std::streamsize>(row.size() * sizeof(eid_t)));
+  in.read(reinterpret_cast<char*>(col.data()),
+          static_cast<std::streamsize>(col.size() * sizeof(vid_t)));
+  if (!in.good()) return false;  // truncated
+  in.get();
+  if (!in.eof()) return false;  // trailing garbage
+  if (!csr_arrays_valid(row, col)) return false;
+  *out = CsrGraph(std::move(row), std::move(col));
+  return true;
+}
+
+bool store_cached_graph(const std::string& path, const std::string& name,
+                        std::uint32_t denom, std::uint64_t seed,
+                        const CsrGraph& g) {
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  if (ec) return false;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    CacheHeader hdr;
+    hdr.denom = denom;
+    hdr.seed = seed;
+    hdr.name_hash = fnv1a64(name);
+    hdr.num_vertices = g.num_vertices();
+    hdr.num_edges = g.num_edges();
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+    out.write(reinterpret_cast<const char*>(g.row_offsets().data()),
+              static_cast<std::streamsize>(g.row_offsets().size() *
+                                           sizeof(eid_t)));
+    out.write(reinterpret_cast<const char*>(g.col_indices().data()),
+              static_cast<std::streamsize>(g.col_indices().size() *
+                                           sizeof(vid_t)));
+    if (!out.good()) return false;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+CsrGraph make_suite_graph_cached(const std::string& name, std::uint32_t denom,
+                                 std::uint64_t seed, const std::string& dir) {
+  if (dir.empty()) return make_suite_graph(name, denom, seed);
+  const std::string path = graph_cache_path(dir, name, denom, seed);
+  CsrGraph g;
+  if (load_cached_graph(path, name, denom, seed, &g)) return g;
+  g = make_suite_graph(name, denom, seed);
+  store_cached_graph(path, name, denom, seed, g);  // best effort
+  return g;
+}
+
+}  // namespace speckle::graph

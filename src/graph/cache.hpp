@@ -1,0 +1,64 @@
+#pragma once
+/// \file cache.hpp
+/// Opt-in binary on-disk cache for generated suite graphs.
+///
+/// Generating the larger Table I graphs (R-MAT at low --denom) costs far
+/// more wall time than everything a bench does with them, and every bench
+/// binary regenerates them from scratch. The cache stores the finished CSR
+/// arrays keyed by (suite name, denom, seed) so repeat runs — sweeps over
+/// schemes, partitioners or thread counts — skip the generator entirely.
+///
+/// The cache is OPT-IN: it activates only when a directory is supplied via
+/// `--graph-cache=DIR` or the `SPECKLE_GRAPH_CACHE` environment variable
+/// (the flag wins). Correctness never depends on it — a missing, stale,
+/// truncated or corrupt file is silently regenerated (and overwritten),
+/// and a file from another format version is rejected by the header guard.
+///
+/// File layout (host-endian; the cache is a local artifact, not an
+/// interchange format):
+///   u64 magic | u32 version | u32 vid_bytes | u32 eid_bytes | u32 denom
+///   | u64 seed | u64 fnv1a64(name) | u64 n | u64 m
+///   | eid_t row_offsets[n+1] | vid_t col_indices[m]
+/// Every header field is validated on load, then the CSR invariants
+/// (monotone offsets, in-range columns, no self loops) are re-checked so a
+/// torn or bit-rotted file can never abort the CsrGraph constructor.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace speckle::graph {
+
+/// On-disk format version. Bump on any layout change — and on any change
+/// to the suite generators, so stale files never masquerade as current.
+inline constexpr std::uint32_t kGraphCacheVersion = 1;
+
+/// Resolve the cache directory: `flag` when nonempty, else the
+/// SPECKLE_GRAPH_CACHE environment variable, else "" (caching disabled).
+std::string resolve_graph_cache_dir(const std::string& flag);
+
+/// The cache file path for (name, denom, seed) under `dir`.
+std::string graph_cache_path(const std::string& dir, const std::string& name,
+                             std::uint32_t denom, std::uint64_t seed);
+
+/// Load a cached CSR from `path`. Returns false (leaving `out` untouched)
+/// when the file is missing, from another format version, keyed for a
+/// different (name, denom, seed), truncated, or failing the CSR
+/// invariants.
+bool load_cached_graph(const std::string& path, const std::string& name,
+                       std::uint32_t denom, std::uint64_t seed, CsrGraph* out);
+
+/// Write `g` under `path` (temp file + rename, so a concurrent reader
+/// never sees a torn file). Returns false when the directory cannot be
+/// created or written; the caller just proceeds uncached.
+bool store_cached_graph(const std::string& path, const std::string& name,
+                        std::uint32_t denom, std::uint64_t seed,
+                        const CsrGraph& g);
+
+/// make_suite_graph with the on-disk cache: a hit loads, a miss generates
+/// and stores. Empty `dir` = plain generation (the cache stays opt-in).
+CsrGraph make_suite_graph_cached(const std::string& name, std::uint32_t denom,
+                                 std::uint64_t seed, const std::string& dir);
+
+}  // namespace speckle::graph

@@ -228,6 +228,18 @@ std::string Report::format(const simt::DeviceConfig& dev) const {
     }
     out << "\n";
   }
+  // Multi-device fleet reports carry the per-round coalesced exchange
+  // batches; single-device reports keep their historical (golden-diffed)
+  // shape.
+  if (!exchange_rounds.empty()) {
+    out << "exchange rounds:\n";
+    for (const ExchangeRound& er : exchange_rounds) {
+      out << "  round " << er.round << ": batches=" << er.batches
+          << " bytes=" << er.bytes << " cycles=" << er.cycles
+          << " hidden=" << er.hidden_cycles << " stall=" << er.stall_cycles
+          << "\n";
+    }
+  }
   (void)dev;
   return out.str();
 }
@@ -293,6 +305,20 @@ std::string Report::to_json(const simt::DeviceConfig& dev,
         << ", \"start_cycle\": " << t.start_cycle << "}";
   }
   if (!transfers.empty()) out << "\n  ";
+  out << "],\n";
+
+  // Per-round coalesced exchange batches (multi-device fleet profiles
+  // only; the array is empty on single-device runs).
+  out << "  \"exchange_rounds\": [";
+  for (std::size_t i = 0; i < exchange_rounds.size(); ++i) {
+    const ExchangeRound& er = exchange_rounds[i];
+    if (i > 0) out << ",";
+    out << "\n    {\"round\": " << er.round << ", \"batches\": " << er.batches
+        << ", \"bytes\": " << er.bytes << ", \"cycles\": " << er.cycles
+        << ", \"hidden_cycles\": " << er.hidden_cycles
+        << ", \"stall_cycles\": " << er.stall_cycles << "}";
+  }
+  if (!exchange_rounds.empty()) out << "\n  ";
   out << "]\n}\n";
   return out.str();
 }

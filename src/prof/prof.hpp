@@ -168,9 +168,29 @@ struct KernelAggregate {
   LaunchProfile sum;  ///< counter fields summed; identity fields unset
 };
 
+/// One lockstep round's coalesced boundary-exchange summary, filled by the
+/// multi-device runner into its fleet-level report. Counting is
+/// per-endpoint (each link charges source and destination alike), matching
+/// the d2d TransferStats totals. `hidden_cycles` is the link-busy time the
+/// interior-compute overlap kept off the critical path; `stall_cycles` is
+/// what the devices actually waited — together they make the overlap win
+/// directly observable per round.
+struct ExchangeRound {
+  std::uint32_t round = 0;         ///< 1-based lockstep round
+  std::uint32_t batches = 0;       ///< coalesced per-link payloads (×2 endpoints)
+  std::uint64_t bytes = 0;         ///< payload bytes, per endpoint
+  std::uint64_t cycles = 0;        ///< link-busy cycles, per endpoint
+  std::uint64_t hidden_cycles = 0; ///< busy cycles hidden behind compute
+  std::uint64_t stall_cycles = 0;  ///< cycles devices waited on exchanges
+  bool operator==(const ExchangeRound&) const = default;
+};
+
 struct Report {
   std::vector<LaunchProfile> launches;  ///< launch order
   std::vector<Transfer> transfers;
+  /// Per-round exchange batches (multi-device fleet reports only; empty on
+  /// single-device runs).
+  std::vector<ExchangeRound> exchange_rounds;
 
   bool empty() const { return launches.empty() && transfers.empty(); }
 

@@ -469,6 +469,22 @@ void Device::copy_peer(std::uint64_t bytes) {
   report_.total_cycles += cycles;
 }
 
+void Device::copy_peer_async(std::uint64_t bytes, std::uint64_t start_cycle,
+                             std::uint64_t cycles) {
+  if (prof_ != nullptr) {
+    prof_->on_transfer_d2d(bytes, cycles, start_cycle);
+  }
+  report_.d2d.bytes += bytes;
+  report_.d2d.cycles += cycles;
+  ++report_.d2d.count;
+  // No total_cycles advance: the copy engine runs beside the SMs. The
+  // consumer calls sync_to(start_cycle + cycles).
+}
+
+void Device::sync_to(std::uint64_t cycle) {
+  if (cycle > report_.total_cycles) report_.total_cycles = cycle;
+}
+
 void Device::charge_host_cycles(std::uint64_t cycles) { report_.total_cycles += cycles; }
 
 void Device::reset_report() {

@@ -84,6 +84,21 @@ class Device {
   /// PCIe transfers above.
   void copy_peer(std::uint64_t bytes);
 
+  /// Record an ASYNCHRONOUS peer transfer occupying [start_cycle,
+  /// start_cycle + cycles) on this device's DMA engine: d2d stats and the
+  /// profiler see the transfer, but the compute timeline does NOT advance —
+  /// kernels launched after this call model work overlapping the in-flight
+  /// copy. The caller schedules the window (the multi-device runner
+  /// serializes transfers per DMA engine and charges both endpoints) and
+  /// pairs the call with sync_to() at the point that consumes the data.
+  void copy_peer_async(std::uint64_t bytes, std::uint64_t start_cycle,
+                       std::uint64_t cycles);
+
+  /// Wait for an asynchronous operation: advance the timeline to `cycle`
+  /// when it is still in the future (no-op otherwise). The gap, if any, is
+  /// the exchange stall the overlap failed to hide.
+  void sync_to(std::uint64_t cycle);
+
   /// Advance the timeline by host-side work of `cycles` *device* cycles
   /// (used when a hybrid scheme does real work on the CPU, e.g. the 3-step
   /// GM conflict resolution; callers convert from CPU-model cycles).

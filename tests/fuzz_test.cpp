@@ -91,19 +91,23 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSchemes, ::testing::Range(0, 8));
 class FuzzMultiDev : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzMultiDev, ShardedColoringProperWithConsistentGhosts) {
-  // Random graph x random fleet size x both partitioners, with the ghost
-  // consistency invariant checked after every exchange (verify_ghosts) and
-  // the result judged by the shared oracle. Exercises empty shards (P can
-  // exceed n) and heavily cut partitions (hash).
+  // Random graph x random fleet size x all three partitioners, with the
+  // ghost consistency invariant checked after every exchange (verify_ghosts)
+  // and the result judged by the shared oracle. Exercises empty shards (P
+  // can exceed n), heavily cut partitions (hash), and BFS block growth over
+  // disconnected soup.
   const auto seed = static_cast<std::uint64_t>(GetParam());
   const CsrGraph g = random_soup(seed + 9000);
   support::Xoshiro256 rng(seed ^ 0xf122u);
   multidev::MultiDevOptions opts;
   opts.num_devices = static_cast<std::uint32_t>(2 + rng.next_below(7));
-  opts.partitioner = (rng.next_below(2) == 0) ? graph::PartitionKind::kContiguous
-                                              : graph::PartitionKind::kHash;
+  constexpr graph::PartitionKind kKinds[] = {graph::PartitionKind::kContiguous,
+                                             graph::PartitionKind::kHash,
+                                             graph::PartitionKind::kBfsBlocks};
+  opts.partitioner = kKinds[rng.next_below(3)];
   opts.use_ldg = (rng.next_below(2) == 0);
   opts.scan_push = (rng.next_below(2) == 0);
+  opts.defer_rounds = static_cast<std::uint32_t>(rng.next_below(3));
   opts.seed = seed + 1;  // hash partitioner seed; must stay nonzero
   opts.verify_ghosts = true;
 

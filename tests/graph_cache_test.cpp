@@ -1,0 +1,163 @@
+// On-disk CSR cache for generated suite graphs (graph/cache.hpp):
+// roundtrip bit-identity, key and format-version guards, corruption and
+// truncation tolerance (a bad file is a miss that regenerates, never an
+// abort), and the flag-vs-environment resolution order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "graph/cache.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/suite.hpp"
+
+namespace {
+
+using namespace speckle;
+using graph::CsrGraph;
+
+namespace fs = std::filesystem;
+
+class GraphCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs the suite in parallel processes, and a
+    // shared directory would let one test's SetUp wipe another's files.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("speckle_graph_cache_") + info->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  std::filesystem::path dir_;
+};
+
+bool same_graph(const CsrGraph& a, const CsrGraph& b) {
+  return std::ranges::equal(a.row_offsets(), b.row_offsets()) &&
+         std::ranges::equal(a.col_indices(), b.col_indices());
+}
+
+TEST_F(GraphCacheTest, MissGeneratesHitLoadsBitIdentical) {
+  const CsrGraph direct = graph::make_suite_graph("Hamrle3", 64, 5);
+  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
+  EXPECT_FALSE(fs::exists(path));
+
+  // First call misses, generates, and stores.
+  const CsrGraph first = graph::make_suite_graph_cached("Hamrle3", 64, 5, dir());
+  EXPECT_TRUE(same_graph(first, direct));
+  EXPECT_TRUE(fs::exists(path));
+
+  // Second call must serve the file, and the bytes must decode to the
+  // exact same CSR arrays.
+  CsrGraph loaded;
+  ASSERT_TRUE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &loaded));
+  EXPECT_TRUE(same_graph(loaded, direct));
+  const CsrGraph second = graph::make_suite_graph_cached("Hamrle3", 64, 5, dir());
+  EXPECT_TRUE(same_graph(second, direct));
+}
+
+TEST_F(GraphCacheTest, EmptyDirDisablesCaching) {
+  const CsrGraph g = graph::make_suite_graph_cached("Hamrle3", 64, 5, "");
+  EXPECT_TRUE(same_graph(g, graph::make_suite_graph("Hamrle3", 64, 5)));
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST_F(GraphCacheTest, KeyFieldsArePartOfTheFilenameAndHeader) {
+  const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
+  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
+  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+
+  // Different (name, denom, seed) keys hash to different paths...
+  EXPECT_NE(graph::graph_cache_path(dir(), "Hamrle3", 32, 5), path);
+  EXPECT_NE(graph::graph_cache_path(dir(), "Hamrle3", 64, 6), path);
+  EXPECT_NE(graph::graph_cache_path(dir(), "thermal2", 64, 5), path);
+
+  // ...and even a forced collision is rejected by the header check.
+  CsrGraph out;
+  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 32, 5, &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 6, &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, "thermal2", 64, 5, &out));
+  EXPECT_TRUE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+}
+
+TEST_F(GraphCacheTest, VersionBumpInvalidatesFile) {
+  const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
+  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
+  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+
+  // The version lives right after the 8-byte magic. Bump it in place.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(8);
+    const std::uint32_t bad = graph::kGraphCacheVersion + 1;
+    f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  }
+  CsrGraph out;
+  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+
+  // make_suite_graph_cached treats it as a miss and rewrites a good file.
+  const CsrGraph regen = graph::make_suite_graph_cached("Hamrle3", 64, 5, dir());
+  EXPECT_TRUE(same_graph(regen, g));
+  ASSERT_TRUE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+}
+
+TEST_F(GraphCacheTest, TruncatedFileIsAMiss) {
+  const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
+  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
+  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+  fs::resize_file(path, fs::file_size(path) / 2);
+  CsrGraph out;
+  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+}
+
+TEST_F(GraphCacheTest, TrailingGarbageIsAMiss) {
+  const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
+  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
+  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.put('\0');
+  }
+  CsrGraph out;
+  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+}
+
+TEST_F(GraphCacheTest, CorruptPayloadFailsInvariantsNotAborts) {
+  // Smash the tail of the column array with an out-of-range vertex id.
+  // load_cached_graph revalidates every CSR invariant on untrusted bytes,
+  // so this must come back as a miss (not trip CsrGraph's SPECKLE_CHECK).
+  const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
+  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
+  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(-static_cast<std::streamoff>(sizeof(graph::vid_t)), std::ios::end);
+    const graph::vid_t bad = 0xFFFFFFFFu;
+    f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  }
+  CsrGraph out;
+  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+}
+
+TEST_F(GraphCacheTest, ResolveDirPrefersFlagOverEnvironment) {
+  ::unsetenv("SPECKLE_GRAPH_CACHE");
+  EXPECT_EQ(graph::resolve_graph_cache_dir(""), "");
+  EXPECT_EQ(graph::resolve_graph_cache_dir("/flag/dir"), "/flag/dir");
+
+  ::setenv("SPECKLE_GRAPH_CACHE", "/env/dir", 1);
+  EXPECT_EQ(graph::resolve_graph_cache_dir(""), "/env/dir");
+  EXPECT_EQ(graph::resolve_graph_cache_dir("/flag/dir"), "/flag/dir");
+  ::unsetenv("SPECKLE_GRAPH_CACHE");
+}
+
+}  // namespace

@@ -84,6 +84,20 @@ TEST(PartitionTest, HashCoversAllVerticesOnce) {
   EXPECT_EQ(total, g.num_vertices());
 }
 
+TEST(PartitionTest, BfsCoversAllVerticesOnceAndCutsLessThanHash) {
+  // BFS blocks grow shards along the adjacency structure, so on a mesh
+  // they must beat the locality-blind hash partitioner's edge cut.
+  const CsrGraph g = grid_graph(16);
+  const Partition bfs = make_partition(g, 4, PartitionKind::kBfsBlocks, 99);
+  bfs.validate(g);
+  vid_t total = 0;
+  for (const graph::Shard& s : bfs.shards) total += s.num_owned();
+  EXPECT_EQ(total, g.num_vertices());
+
+  const Partition hash = make_partition(g, 4, PartitionKind::kHash, 99);
+  EXPECT_LT(bfs.cut_edges, hash.cut_edges);
+}
+
 TEST(PartitionTest, MorePartsThanVerticesLeavesEmptyShards) {
   // P > n: some shards own nothing; the fleet must still run and color.
   const CsrGraph g = path_graph(3);
@@ -113,7 +127,8 @@ TEST(PartitionTest, IsolatedVerticesHaveNoGhosts) {
   graph::EdgeList edges{{0, 1}};
   const CsrGraph g = build_csr(6, std::move(edges));  // 2..5 isolated
   for (const PartitionKind kind :
-       {PartitionKind::kContiguous, PartitionKind::kHash}) {
+       {PartitionKind::kContiguous, PartitionKind::kHash,
+        PartitionKind::kBfsBlocks}) {
     const Partition part = make_partition(g, 3, kind, 7);
     part.validate(g);
     std::uint64_t ghosts = 0;
@@ -192,6 +207,8 @@ TEST(MultiDevTest, ReportsAreHostThreadInvariant) {
   EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_EQ(a.exchanged_colors, b.exchanged_colors);
   EXPECT_EQ(a.model_ms, b.model_ms);
+  EXPECT_EQ(a.hidden_ms, b.hidden_ms);
+  EXPECT_TRUE(a.exchange_rounds == b.exchange_rounds);
   EXPECT_EQ(a.fleet_report.total_cycles, b.fleet_report.total_cycles);
   EXPECT_EQ(a.fleet_report.d2d.bytes, b.fleet_report.d2d.bytes);
   EXPECT_TRUE(a.san == b.san);
@@ -225,6 +242,57 @@ TEST(MultiDevTest, HashPartitionColorsProperly) {
   EXPECT_TRUE(IsGreedyColoring(g, r.coloring));
   EXPECT_GT(r.cut_edges, 0u);
   EXPECT_GT(r.ghost_rounds_verified, 0u);
+}
+
+TEST(MultiDevTest, BoundaryInteriorSplitStructure) {
+  // The overlap restructure splits every round into a boundary launch
+  // (feeds the exchange), a cross-cut conflict scan (consumes last round's
+  // exchange), an interior launch (hides the flight time), and an
+  // owned-only local detect. All four kernels must appear in the fleet
+  // log, and the per-round exchange accounting must be self-consistent.
+  // thermal2 is a mesh, so a contiguous partition has both boundary and
+  // interior vertices (on rmat-er almost every vertex is boundary and the
+  // interior slice never launches).
+  const CsrGraph g = graph::make_suite_graph("thermal2", 256);
+  const auto r = run_multidev(g, 4, PartitionKind::kContiguous);
+  EXPECT_TRUE(IsGreedyColoring(g, r.coloring));
+
+  bool saw_bnd = false, saw_int = false, saw_xdetect = false, saw_detect = false;
+  for (const auto& k : r.fleet_report.kernels) {
+    saw_bnd |= k.name.find(".md_color_bnd") != std::string::npos;
+    saw_int |= k.name.find(".md_color_int") != std::string::npos;
+    saw_xdetect |= k.name.find(".md_xdetect") != std::string::npos;
+    saw_detect |= k.name.find(".md_detect") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_bnd);
+  EXPECT_TRUE(saw_int);
+  EXPECT_TRUE(saw_xdetect);
+  EXPECT_TRUE(saw_detect);
+
+  // Every owned vertex with a cut edge is boundary; none can exceed owned.
+  vid_t boundary_total = 0;
+  for (const auto& d : r.devices) {
+    EXPECT_LE(d.boundary, d.owned) << "device " << d.device;
+    if (d.cut_edges > 0) EXPECT_GT(d.boundary, 0u) << "device " << d.device;
+    boundary_total += d.boundary;
+  }
+  EXPECT_GT(boundary_total, 0u);
+
+  // Per-round batches count both endpoints of each link (always even),
+  // hidden + stall partitions the busy cycles, and the round bytes sum to
+  // the fleet's per-endpoint d2d total.
+  ASSERT_FALSE(r.exchange_rounds.empty());
+  std::uint64_t bytes_total = 0;
+  for (const auto& er : r.exchange_rounds) {
+    EXPECT_EQ(er.batches % 2, 0u) << "round " << er.round;
+    EXPECT_LE(er.hidden_cycles, er.cycles) << "round " << er.round;
+    if (er.hidden_cycles > 0) {
+      EXPECT_EQ(er.hidden_cycles + er.stall_cycles, er.cycles)
+          << "round " << er.round;
+    }
+    bytes_total += er.bytes;
+  }
+  EXPECT_EQ(bytes_total, r.fleet_report.d2d.bytes);
 }
 
 TEST(MultiDevTest, FleetReportAggregatesPerDevicePrefixes) {
@@ -273,6 +341,30 @@ std::vector<std::string> suite_names() {
   std::vector<std::string> names;
   for (const auto& e : graph::suite_entries()) names.push_back(e.name);
   return names;
+}
+
+TEST(MultiDevTest, BfsPartitionWithinColorBudget) {
+  // The edge-cut-aware BFS partitioner with a one-round deferral window
+  // must land within 1.1x of the single-device color count on both R-MAT
+  // graphs (the overlap PR's quality bar for the new partitioner).
+  for (const std::string name : {"rmat-er", "rmat-g"}) {
+    const CsrGraph g = graph::make_suite_graph(name, 64);
+    RunOptions run;
+    const RunResult single = run_scheme(Scheme::kDataLdg, g, run);
+
+    multidev::MultiDevOptions opts;
+    opts.num_devices = 4;
+    opts.partitioner = PartitionKind::kBfsBlocks;
+    opts.use_ldg = true;
+    opts.defer_rounds = 1;
+    const auto multi = multidev::multidev_color(g, opts);
+    EXPECT_TRUE(IsGreedyColoring(g, multi.coloring)) << name;
+    EXPECT_LE(multi.num_colors,
+              static_cast<color_t>(
+                  std::ceil(1.1 * static_cast<double>(single.num_colors))))
+        << name << ": " << multi.num_colors << " vs " << single.num_colors
+        << " single-device";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

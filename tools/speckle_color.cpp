@@ -7,11 +7,17 @@
 ///   speckle_color --graph=matrix.mtx [--scheme=D-ldg] [--block=128]
 ///                 [--out=colors.txt] [--balance] [--refine] [--distance2]
 ///                 [--device-report] [--sanitize] [--seed=1] [--threads=N]
-///                 [--devices=P] [--partitioner=contiguous|hash]
+///                 [--devices=P] [--partitioner=contiguous|hash|bfs]
+///                 [--graph-cache=DIR]
 ///
 /// --devices=P shards the graph over P simulated GPUs (speckle::multidev;
-/// data-driven schemes only) and prints a per-device breakdown; the
-/// partitioner defaults to contiguous.
+/// data-driven schemes only) and prints a per-device breakdown (boundary
+/// sizes, exchange busy/stall/hidden cycles) plus the per-round coalesced
+/// exchange batches; the partitioner defaults to contiguous.
+///
+/// --graph-cache=DIR caches generated --suite graphs on disk keyed by
+/// (name, denom, seed) with a format-version guard (src/graph/cache.hpp);
+/// the SPECKLE_GRAPH_CACHE environment variable enables it too.
 ///
 /// --threads=N sets the host threads of the simulator's wave executor
 /// (0 = one per hardware thread, the default). Colors and simulated times
@@ -44,6 +50,7 @@
 #include "coloring/refine.hpp"
 #include "coloring/runner.hpp"
 #include "graph/analysis.hpp"
+#include "graph/cache.hpp"
 #include "graph/matrix_market.hpp"
 #include "graph/suite.hpp"
 #include "support/check.hpp"
@@ -73,9 +80,14 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
   const auto devices = static_cast<std::uint32_t>(opts.get_int("devices", 1));
   const std::string partitioner = opts.get_string("partitioner", "contiguous");
+  // Opt-in on-disk CSR cache for --suite graphs (also enabled by the
+  // SPECKLE_GRAPH_CACHE environment variable; the flag wins).
+  const std::string graph_cache =
+      graph::resolve_graph_cache_dir(opts.get_string("graph-cache", ""));
   opts.validate({"graph", "suite", "denom", "scheme", "block", "out", "balance",
                  "refine", "distance2", "device-report", "sanitize", "profile",
-                 "profile-out", "seed", "threads", "devices", "partitioner"});
+                 "profile-out", "seed", "threads", "devices", "partitioner",
+                 "graph-cache"});
   SPECKLE_CHECK(seed != 0,
                 "--seed=0 is reserved (it collapses the repo's derived-seed "
                 "products); pass a nonzero seed");
@@ -98,7 +110,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   } else {
-    g = graph::make_suite_graph(suite, denom, seed);
+    g = graph::make_suite_graph_cached(suite, denom, seed, graph_cache);
   }
   const graph::DegreeReport deg = graph::analyze_degrees(g);
   std::cout << "graph: " << (mtx.empty() ? suite : mtx) << "  n=" << deg.num_vertices
@@ -150,13 +162,22 @@ int main(int argc, char** argv) {
       std::cout << "devices: " << devices << " (" << partitioner
                 << " partition), cut=" << r.cut_edges
                 << " directed edges, exchanged=" << r.exchanged_colors
-                << " ghost colors\n";
+                << " ghost colors, hidden=" << r.hidden_ms << " ms\n";
       for (const auto& d : r.devices) {
         std::cout << "  d" << d.device << ": owned=" << d.owned
-                  << " ghosts=" << d.ghosts << " cut=" << d.cut_edges
-                  << " rounds=" << d.rounds << " sent=" << d.sent_colors
-                  << " recv=" << d.recv_colors << " d2d=" << d.report.d2d.bytes
-                  << "B\n";
+                  << " boundary=" << d.boundary << " ghosts=" << d.ghosts
+                  << " cut=" << d.cut_edges << " rounds=" << d.rounds
+                  << " sent=" << d.sent_colors << " recv=" << d.recv_colors
+                  << " d2d=" << d.report.d2d.bytes
+                  << "B busy=" << d.exchange_busy_cycles
+                  << "cyc stall=" << d.exchange_stall_cycles
+                  << "cyc hidden=" << d.exchange_hidden_cycles << "cyc\n";
+      }
+      for (const auto& er : r.exchange_rounds) {
+        std::cout << "  round " << er.round << ": batches=" << er.batches
+                  << " bytes=" << er.bytes << " cycles=" << er.cycles
+                  << " hidden=" << er.hidden_cycles
+                  << " stall=" << er.stall_cycles << "\n";
       }
     }
     if (device_report && !r.report.kernels.empty()) {
