@@ -18,6 +18,7 @@ coloring::RunOptions BenchContext::run_options() const {
   opts.partitioner = partitioner;
   opts.device.host_threads = threads;
   opts.device.profile = profile;
+  opts.device.check = check;
   if (denom > 1) opts.scale_caches(denom);
   return opts;
 }
@@ -34,6 +35,7 @@ BenchContext parse_context(int argc, char** argv,
   ctx.partitioner =
       graph::partition_kind_from_name(opts.get_string("partitioner", "contiguous"));
   ctx.profile = opts.get_bool("profile", false);
+  ctx.check = opts.get_bool("check", false);
   ctx.csv = opts.get_bool("csv", false);
   ctx.graph_cache =
       graph::resolve_graph_cache_dir(opts.get_string("graph-cache", ""));
@@ -56,8 +58,8 @@ BenchContext parse_context(int argc, char** argv,
 
   std::vector<std::string> known = {"denom",   "block",   "seed",
                                     "threads", "devices", "partitioner",
-                                    "profile", "csv",     "graphs",
-                                    "graph-cache"};
+                                    "profile", "check",   "csv",
+                                    "graphs",  "graph-cache"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   opts.validate(known);
   return ctx;

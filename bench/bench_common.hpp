@@ -17,6 +17,9 @@
 ///   --partitioner=contiguous|hash|bfs  multi-device vertex partitioner
 ///   --profile    run the schemes under the speckle::prof profiling layer
 ///                (benches that support it print a counter summary)
+///   --check      record every launch into a speckle::check plan and run
+///                the static dataflow checker (findings land in
+///                RunResult::check; speckle_lint is the reporting tool)
 ///   --csv        emit CSV after the human-readable table
 ///   --graph-cache=DIR  binary on-disk cache for the generated suite
 ///                graphs, keyed by (name, denom, seed) with a format
@@ -42,6 +45,7 @@ struct BenchContext {
   std::uint32_t devices = 1;  ///< simulated GPUs (speckle::multidev when > 1)
   graph::PartitionKind partitioner = graph::PartitionKind::kContiguous;
   bool profile = false;       ///< enable DeviceConfig::profile
+  bool check = false;         ///< enable DeviceConfig::check
   bool csv = false;
   std::string graph_cache;    ///< on-disk CSR cache dir; "" = disabled
   std::vector<std::string> graphs;  ///< suite names, Table I order

@@ -91,13 +91,20 @@ GpuResult csrcolor(const graph::CsrGraph& g, const CsrColorOptions& opts) {
   vid_t remaining = n;
   color_t base = 0;
 
+  check::KernelSpec snapshot_spec;
+  snapshot_spec.reads(colors).writes(uncolored);
+  const check::KernelSpec mis_spec =
+      graph_spec(dg, opts.use_ldg).reads(uncolored).writes(colors);
+  check::KernelSpec count_spec;
+  count_spec.reads(colors).atomics(counter);
+
   while (remaining > 0) {
     SPECKLE_CHECK(result.iterations < opts.max_iterations,
                   "csrcolor exceeded max_iterations");
     ++result.iterations;
 
     // Snapshot kernel: uncolored[v] = (color[v] == 0). Coalesced streams.
-    dev.launch(cfg, "csrcolor_snapshot", [&](simt::Thread& t) {
+    dev.launch(cfg, "csrcolor_snapshot", snapshot_spec, [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       const color_t c = t.ld(colors, v);
@@ -106,7 +113,7 @@ GpuResult csrcolor(const graph::CsrGraph& g, const CsrColorOptions& opts) {
     });
 
     // MIS kernel: join the first of the 2N sets whose extremum test passes.
-    dev.launch(cfg, "csrcolor_mis", [&](simt::Thread& t) {
+    dev.launch(cfg, "csrcolor_mis", mis_spec, [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.compute(2);
@@ -146,7 +153,7 @@ GpuResult csrcolor(const graph::CsrGraph& g, const CsrColorOptions& opts) {
     // Remaining-count reduction (thrust::count in the real code): one
     // coalesced pass over colors, one atomic per block.
     counter[0] = 0;
-    dev.launch(cfg, "csrcolor_count", [&](simt::Thread& t) {
+    dev.launch(cfg, "csrcolor_count", count_spec, [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.ld(colors, v);

@@ -37,7 +37,11 @@ GpuResult data_color(const graph::CsrGraph& g, const DataOptions& opts) {
     racy_cfg.racy_visibility = true;  // the color kernel speculates via st_racy
 
     // Lines 4-10: speculatively color every vertex in the worklist.
-    dev.launch(racy_cfg, "data_color", [&](simt::Thread& t) {
+    const check::KernelSpec color_spec = graph_spec(dg, opts.use_ldg)
+                                             .reads(w_in->items(), 0, count)
+                                             .reads(colors)
+                                             .racy(colors);
+    dev.launch(racy_cfg, "data_color", color_spec, [&](simt::Thread& t) {
       const auto idx = t.global_id();
       if (idx >= count) return;
       t.compute(2);
@@ -53,7 +57,14 @@ GpuResult data_color(const graph::CsrGraph& g, const DataOptions& opts) {
     // see DESIGN.md §6.)
     w_out->clear();
     dev.copy_to_device(sizeof(std::uint32_t));  // memset of the out tail
-    dev.launch(cfg, "data_detect", [&](simt::Thread& t) {
+    // Each consumed item re-enters at most once, so `count` bounds the
+    // pushes; both push paths (scan_push / atomic tail) ride the same
+    // declaration.
+    const check::KernelSpec detect_spec = graph_spec(dg, opts.use_ldg)
+                                              .reads(w_in->items(), 0, count)
+                                              .reads(colors)
+                                              .pushes(*w_out, count);
+    dev.launch(cfg, "data_detect", detect_spec, [&](simt::Thread& t) {
       const auto idx = t.global_id();
       if (idx >= count) return;
       t.compute(2);

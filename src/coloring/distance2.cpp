@@ -149,12 +149,22 @@ GpuResult topo_color_d2(const graph::CsrGraph& g, const GpuOptions& opts) {
                                opts.block_size};
   simt::LaunchConfig racy_cfg = cfg;
   racy_cfg.racy_visibility = true;  // the color kernel speculates via st_racy
+
+  const check::KernelSpec color_spec = graph_spec(dg, opts.use_ldg)
+                                           .reads(colors)
+                                           .racy(colors)
+                                           .reads(colored)
+                                           .writes(colored)
+                                           .writes(changed);
+  const check::KernelSpec detect_spec =
+      graph_spec(dg, opts.use_ldg).reads(colors).writes(colored);
+
   for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
     ++result.iterations;
     changed[0] = 0;
     dev.copy_to_device(sizeof(std::uint32_t));
 
-    dev.launch(racy_cfg, "topo_color_d2", [&](simt::Thread& t) {
+    dev.launch(racy_cfg, "topo_color_d2", color_spec, [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.compute(2);
@@ -165,7 +175,7 @@ GpuResult topo_color_d2(const graph::CsrGraph& g, const GpuOptions& opts) {
       t.st(changed, 0, 1U);
     });
 
-    dev.launch(cfg, "topo_detect_d2", [&](simt::Thread& t) {
+    dev.launch(cfg, "topo_detect_d2", detect_spec, [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.compute(2);

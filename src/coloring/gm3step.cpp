@@ -32,12 +32,21 @@ Gm3Result gm3step_color(const graph::CsrGraph& g, const Gm3Options& opts) {
   const simt::LaunchConfig vert_cfg{(n + opts.block_size - 1) / opts.block_size,
                                     opts.block_size};
 
+  // The partition walker never routes R/C through the RO cache (Grosset's
+  // kernel predates __ldg tuning), so both specs declare plain reads.
+  const check::KernelSpec color_spec = graph_spec(dg, /*use_ldg=*/false)
+                                           .reads(conflicted)
+                                           .reads(colors)
+                                           .racy(colors);
+  const check::KernelSpec detect_spec =
+      graph_spec(dg, /*use_ldg=*/false).reads(colors).writes(conflicted);
+
   // Step 2, repeated: color the conflicted vertices partition-by-partition
   // (one thread walks its whole partition — Grosset's mapping), then detect
   // cross-thread conflicts over all vertices.
   for (std::uint32_t round = 0; round < opts.gpu_rounds; ++round) {
     ++result.iterations;
-    dev.launch(part_cfg, "gm3_color_partition", [&](simt::Thread& t) {
+    dev.launch(part_cfg, "gm3_color_partition", color_spec, [&](simt::Thread& t) {
       const auto p = static_cast<vid_t>(t.global_id());
       if (p >= num_partitions) return;
       const vid_t lo = p * opts.partition_size;
@@ -80,7 +89,7 @@ Gm3Result gm3step_color(const graph::CsrGraph& g, const Gm3Options& opts) {
       }
     });
 
-    dev.launch(vert_cfg, "gm3_detect", [&](simt::Thread& t) {
+    dev.launch(vert_cfg, "gm3_detect", detect_spec, [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.compute(2);

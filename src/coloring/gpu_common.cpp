@@ -22,6 +22,17 @@ void finish_gpu_result(GpuResult& result, const simt::Device& dev,
   result.wall_ms = wall.milliseconds();
   result.san = dev.san_report();
   result.prof = dev.prof_report();
+  result.check = dev.check_report();
+}
+
+check::KernelSpec graph_spec(const DeviceGraph& dg, bool use_ldg) {
+  check::KernelSpec spec;
+  if (use_ldg) {
+    spec.ldg(dg.row).ldg(dg.col);
+  } else {
+    spec.reads(dg.row).reads(dg.col);
+  }
+  return spec;
 }
 
 color_t device_first_fit(simt::Thread& t, const DeviceGraph& dg,

@@ -46,12 +46,20 @@ struct GpuResult {
                               ///< GpuOptions::device.sanitize was set)
   prof::Report prof;    ///< profiler counters/timeline (empty unless
                               ///< GpuOptions::device.profile was set)
+  check::Report check;  ///< static launch-plan findings (empty unless
+                              ///< GpuOptions::device.check was set)
 };
 
 /// Fill the result fields every scheme reports identically: the device
-/// report, the model/wall-clock milliseconds, and the sanitizer findings.
+/// report, the model/wall-clock milliseconds, the sanitizer findings and
+/// the static checker's verdict over the accumulated launch plan.
 void finish_gpu_result(GpuResult& result, const simt::Device& dev,
                        const support::Timer& wall);
+
+/// Start a KernelSpec with the adjacency reads every device routine
+/// (device_first_fit / device_conflict*) performs: R and C, through the RO
+/// cache when `use_ldg` is set and plain loads otherwise.
+check::KernelSpec graph_spec(const DeviceGraph& dg, bool use_ldg);
 
 /// Device-side first fit: smallest color >= 1 not used by any neighbor of
 /// v, scanning a 64-color bitmask window and widening on overflow (the GPU

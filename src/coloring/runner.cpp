@@ -108,6 +108,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
     result.report = std::move(r.fleet_report);
     result.san = std::move(r.san);
     result.prof = std::move(r.prof);
+    result.check = std::move(r.check);
     result.devices = std::move(r.devices);
     result.cut_edges = r.cut_edges;
     result.exchanged_colors = r.exchanged_colors;
@@ -145,6 +146,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.report = std::move(r.report);
       result.san = std::move(r.san);
       result.prof = std::move(r.prof);
+      result.check = std::move(r.check);
       break;
     }
     case Scheme::kTopoBase:
@@ -157,6 +159,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.report = std::move(r.report);
       result.san = std::move(r.san);
       result.prof = std::move(r.prof);
+      result.check = std::move(r.check);
       break;
     }
     case Scheme::kDataBase:
@@ -176,6 +179,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.report = std::move(r.report);
       result.san = std::move(r.san);
       result.prof = std::move(r.prof);
+      result.check = std::move(r.check);
       break;
     }
     case Scheme::kCsrColor:
@@ -195,6 +199,7 @@ RunResult run_scheme(Scheme s, const graph::CsrGraph& g, const RunOptions& opts)
       result.report = std::move(r.report);
       result.san = std::move(r.san);
       result.prof = std::move(r.prof);
+      result.check = std::move(r.check);
       break;
     }
     case Scheme::kJonesPlassmann: {

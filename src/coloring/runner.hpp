@@ -77,6 +77,9 @@ struct RunResult {
                               ///< or when RunOptions::device.sanitize is off)
   prof::Report prof;    ///< profiler counters/timeline (empty for CPU
                               ///< schemes or when device.profile is off)
+  check::Report check;  ///< launch-plan checker output (empty for CPU
+                              ///< schemes or when device.check is off); on
+                              ///< multi-device runs the fleet-merged view
 
   // --- multi-device runs only (RunOptions::num_devices > 1) ---------------
   /// Per-device breakdowns, in device order. Empty on single-device runs;

@@ -26,6 +26,15 @@ GpuResult topo_color(const graph::CsrGraph& g, const GpuOptions& opts) {
   simt::LaunchConfig racy_cfg = cfg;
   racy_cfg.racy_visibility = true;  // the color kernel speculates via st_racy
 
+  const check::KernelSpec color_spec = graph_spec(dg, opts.use_ldg)
+                                           .reads(colors)
+                                           .racy(colors)
+                                           .reads(colored)
+                                           .writes(colored)
+                                           .writes(changed);
+  const check::KernelSpec detect_spec =
+      graph_spec(dg, opts.use_ldg).reads(colors).writes(colored);
+
   for (std::uint32_t iter = 0; iter < opts.max_iterations; ++iter) {
     ++result.iterations;
     changed[0] = 0;
@@ -33,7 +42,7 @@ GpuResult topo_color(const graph::CsrGraph& g, const GpuOptions& opts) {
 
     // Algorithm 4 lines 4-14: color the still-uncolored vertices
     // speculatively (warp-lockstep races produce the conflicts).
-    dev.launch(racy_cfg, "topo_color", [&](simt::Thread& t) {
+    dev.launch(racy_cfg, "topo_color", color_spec, [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.compute(2);
@@ -46,7 +55,7 @@ GpuResult topo_color(const graph::CsrGraph& g, const GpuOptions& opts) {
 
     // Lines 15-21: detect conflicts over the entire vertex set (this is
     // the topology-driven scheme's work-inefficiency) and un-color losers.
-    dev.launch(cfg, "topo_detect", [&](simt::Thread& t) {
+    dev.launch(cfg, "topo_detect", detect_spec, [&](simt::Thread& t) {
       const auto v = static_cast<vid_t>(t.global_id());
       if (v >= n) return;
       t.compute(2);

@@ -125,14 +125,22 @@ GpuResult data_warp_color(const graph::CsrGraph& g, const DataOptions& opts) {
           t.st_racy(colors, v, c);
         },
     };
-    dev.launch_phased(color_cfg, "data_warp_color", phases);
+    const check::KernelSpec color_spec = graph_spec(dg, opts.use_ldg)
+                                             .reads(w_in->items(), 0, count)
+                                             .reads(colors)
+                                             .racy(colors);
+    dev.launch_phased(color_cfg, "data_warp_color", color_spec, phases);
 
     // Detection + compaction: thread-centric, as in data_color.
     w_out->clear();
     dev.copy_to_device(sizeof(std::uint32_t));
     const simt::LaunchConfig detect_cfg{
         (count + opts.block_size - 1) / opts.block_size, opts.block_size};
-    dev.launch(detect_cfg, "data_warp_detect", [&](simt::Thread& t) {
+    const check::KernelSpec detect_spec = graph_spec(dg, opts.use_ldg)
+                                              .reads(w_in->items(), 0, count)
+                                              .reads(colors)
+                                              .pushes(*w_out, count);
+    dev.launch(detect_cfg, "data_warp_detect", detect_spec, [&](simt::Thread& t) {
       const auto idx = t.global_id();
       if (idx >= count) return;
       t.compute(2);

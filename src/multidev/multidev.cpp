@@ -266,6 +266,16 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
         xfer_in_done[dst] = std::max(xfer_in_done[dst], done);
         nodes[src].dev->copy_peer_async(bytes, start, cycles);
         nodes[dst].dev->copy_peer_async(bytes, start, cycles);
+        // Static view of the flight (speckle::check): the destination's
+        // ghost color slots are being overwritten until next round's
+        // consume-point fence. copy_write is idempotent while the window
+        // is open, so the per-link granularity collapses to one planned
+        // copy per receiving device per round.
+        nodes[dst].dev->plan_copy_write(
+            nodes[dst].colors.base_addr(),
+            static_cast<std::uint64_t>(part.shards[dst].num_owned()) *
+                sizeof(std::uint32_t),
+            nodes[dst].colors.byte_size(), "ghost-exchange");
         nodes[src].exchange_busy += cycles;
         nodes[dst].exchange_busy += cycles;
         round_stats.batches += 2;
@@ -305,6 +315,10 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
         nodes[k].dev->sync_to(xfer_in_done[k]);
       }
     }
+    // The consume point: everything from here on may read ghost slots
+    // again, so the planned copy windows retire (the checker's view of the
+    // sync_to above; a no-op when DeviceConfig::check is off).
+    for (Node& node : nodes) node.dev->plan_copy_fence();
     if (opts.verify_ghosts && parts > 1) {
       // Every ghost slot a device may still read must now mirror its
       // owner's color (exchange soundness — the invariant the cross-cut
@@ -482,7 +496,27 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
             t.st_racy(node.colors, v, c);
           },
       };
-      node.dev->launch_phased(cfg, "d" + std::to_string(k) + name, phases);
+      // Declared dataflow: the boundary slice reads ghost color slots (its
+      // vertices sit on the cut), while the interior slice provably stays
+      // inside the owned prefix — the static half of the proof that phase 3
+      // may overlap the in-flight ghost exchange (a full-extent declaration
+      // there would trip the checker's kGhostTrespass rule).
+      check::KernelSpec spec = coloring::graph_spec(node.dg, opts.use_ldg);
+      spec.reads(node.w_in->items(), begin, end);
+      if (defer) {
+        if (opts.use_ldg) {
+          spec.ldg(node.prio);
+        } else {
+          spec.reads(node.prio);
+        }
+      }
+      if (begin >= num_boundary[k]) {
+        spec.reads(node.colors, 0, num_owned);
+      } else {
+        spec.reads(node.colors);
+      }
+      spec.racy(node.colors, 0, num_owned);
+      node.dev->launch_phased(cfg, "d" + std::to_string(k) + name, spec, phases);
     };
     // Phase 0 (P>1) — reset the out-lists (one fused 8-byte tail memset)
     // and resolve the PREVIOUS round's cross-cut conflicts: the boundary
@@ -577,8 +611,19 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
               }
             },
         };
+        // Reads ghost slots, legally: the cross-cut scan runs after the
+        // consume-point fence, so no copy window is open over colors here.
+        check::KernelSpec spec = coloring::graph_spec(node.dg, opts.use_ldg);
+        spec.reads(node.pend_in->items(), 0, count);
+        spec.reads(node.colors);
+        if (opts.use_ldg) {
+          spec.ldg(node.l2g);
+        } else {
+          spec.reads(node.l2g);
+        }
+        spec.pushes(*node.w_out, count);
         node.dev->launch_phased(cfg, "d" + std::to_string(k) + ".md_xdetect",
-                                phases);
+                                spec, phases);
       }
     }
 
@@ -623,7 +668,11 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
       simt::LaunchConfig racy_cfg{
           (items + opts.block_size - 1) / opts.block_size, opts.block_size};
       racy_cfg.racy_visibility = true;  // speculation feeds on st_racy races
-      node.dev->launch(racy_cfg, "d0.md_color", [&, items](simt::Thread& t) {
+      const check::KernelSpec spec = coloring::graph_spec(node.dg, opts.use_ldg)
+                                         .reads(node.w_in->items(), 0, items)
+                                         .reads(node.colors)
+                                         .racy(node.colors);
+      node.dev->launch(racy_cfg, "d0.md_color", spec, [&, items](simt::Thread& t) {
         const auto idx = t.global_id();
         if (idx >= items) return;
         t.compute(2);
@@ -656,7 +705,16 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
         node.dev->copy_to_device(sizeof(std::uint32_t));  // memset of the out tail
         const simt::LaunchConfig cfg{
             (count + opts.block_size - 1) / opts.block_size, opts.block_size};
-        node.dev->launch(cfg, name, [&, count](simt::Thread& t) {
+        check::KernelSpec spec = coloring::graph_spec(node.dg, opts.use_ldg)
+                                     .reads(node.w_in->items(), 0, count)
+                                     .reads(node.colors)
+                                     .pushes(*node.w_out, count);
+        if (opts.use_ldg) {
+          spec.ldg(node.l2g);
+        } else {
+          spec.reads(node.l2g);
+        }
+        node.dev->launch(cfg, name, spec, [&, count](simt::Thread& t) {
           const auto idx = t.global_id();
           if (idx >= count) return;
           t.compute(2);
@@ -754,7 +812,20 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
               }
             },
         };
-        node.dev->launch_phased(cfg, name, phases);
+        // Owned-prefix declarations only: the local scan skips ghost
+        // neighbors by construction, which is exactly what lets it run
+        // while the exchange is in flight — and what the checker verifies
+        // against the open copy window.
+        check::KernelSpec spec = coloring::graph_spec(node.dg, opts.use_ldg);
+        spec.reads(node.w_in->items(), 0, count);
+        spec.reads(node.colors, 0, num_owned);
+        if (opts.use_ldg) {
+          spec.ldg(node.l2g);
+        } else {
+          spec.reads(node.l2g, 0, num_owned);
+        }
+        spec.pushes(*node.w_out, count).pushes(*node.pend_out, nb);
+        node.dev->launch_phased(cfg, name, spec, phases);
         // Read back both out tails: the loser list and the pending list.
         node.dev->copy_to_host(2 * sizeof(std::uint32_t));
       } else {
@@ -825,6 +896,7 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
     breakdown.report = node.dev->report();
     breakdown.san = node.dev->san_report();
     breakdown.prof = node.dev->prof_report();
+    breakdown.check = node.dev->check_report();
     makespan = std::max(makespan, breakdown.report.total_cycles);
 
     // Fleet views: kernels concatenate in device order (names carry the
@@ -851,6 +923,7 @@ MultiDevResult multidev_color(const graph::CsrGraph& g, const MultiDevOptions& o
     for (const prof::Transfer& tr : breakdown.prof.transfers) {
       result.prof.transfers.push_back(tr);
     }
+    result.check.merge(breakdown.check);
     result.devices.push_back(std::move(breakdown));
   }
   // All timelines meet at the final barrier, so any device's total IS the

@@ -75,6 +75,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/partition.hpp"
 #include "prof/prof.hpp"
+#include "simt/check.hpp"
 #include "simt/config.hpp"
 #include "simt/san.hpp"
 #include "simt/stats.hpp"
@@ -127,6 +128,7 @@ struct DeviceBreakdown {
   simt::DeviceReport report;        ///< kernels, transfers, timeline
   san::Report san;                  ///< per-device sanitizer findings
   prof::Report prof;                ///< per-device profile (when enabled)
+  check::Report check;              ///< per-device launch-plan checker output
 };
 
 struct MultiDevResult {
@@ -147,10 +149,12 @@ struct MultiDevResult {
   /// Fleet-level views: the kernel logs of every device concatenated in
   /// device order (kernel names carry the "d<k>." prefix), transfer totals
   /// summed, total_cycles = the makespan; san findings appended in device
-  /// order; profiler launches/transfers appended in device order.
+  /// order; profiler launches/transfers appended in device order; checker
+  /// reports merged in device order (launch plans concatenate).
   simt::DeviceReport fleet_report;
   san::Report san;
   prof::Report prof;
+  check::Report check;
 };
 
 /// Color `g` on `opts.num_devices` simulated devices. Aborts on option

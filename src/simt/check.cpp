@@ -1,0 +1,462 @@
+#include "simt/check.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace speckle::check {
+namespace {
+
+/// Intents that mutate the buffer during the launch.
+constexpr std::uint32_t kWriteishMask =
+    intent_bit(Intent::kWrite) | intent_bit(Intent::kRacy) |
+    intent_bit(Intent::kAtomic) | intent_bit(Intent::kPush);
+/// Intents that only observe the buffer.
+constexpr std::uint32_t kReadLikeMask =
+    intent_bit(Intent::kRead) | intent_bit(Intent::kLdg);
+
+/// Worklist items are uint32 slots; capacity in items = bytes / 4.
+constexpr std::uint64_t kWorklistItemBytes = 4;
+
+bool is_writeish(Intent intent) {
+  return (intent_bit(intent) & kWriteishMask) != 0;
+}
+
+/// Resolve a use's byte range against the buffer table: kWholeExtent (and
+/// any over-declared hi) clamps to the allocation, unknown buffers keep the
+/// declared extent so ranges still compare.
+struct ByteRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+ByteRange resolve(const BufferUse& use, const PlanBuffer* buf) {
+  ByteRange r{use.lo, use.hi};
+  if (buf != nullptr && r.hi > buf->bytes) r.hi = buf->bytes;
+  return r;
+}
+
+bool overlaps(const ByteRange& a, const ByteRange& b) {
+  return a.lo < b.hi && b.lo < a.hi;
+}
+
+std::string range_text(std::uint64_t lo, std::uint64_t hi) {
+  if (lo == 0 && hi == kWholeExtent) return "[*]";
+  std::ostringstream os;
+  os << "[" << lo << "," << (hi == kWholeExtent ? std::string("*")
+                                                : std::to_string(hi))
+     << ")";
+  return os.str();
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+/// Two same-region uses of one buffer that can run concurrently are safe
+/// only when neither mutates, or both are atomic RMWs (order-free by
+/// construction). Everything else — including racy-vs-read across kernels —
+/// is exactly the write -> barrier -> read ordering the schemes rely on.
+bool compatible_across_launches(Intent a, Intent b) {
+  const std::uint32_t mask = intent_bit(a) | intent_bit(b);
+  if ((mask & kWriteishMask) == 0) return true;
+  return a == Intent::kAtomic && b == Intent::kAtomic;
+}
+
+}  // namespace
+
+const char* intent_name(Intent intent) {
+  switch (intent) {
+    case Intent::kRead: return "read";
+    case Intent::kLdg: return "ldg";
+    case Intent::kWrite: return "write";
+    case Intent::kRacy: return "racy";
+    case Intent::kAtomic: return "atomic";
+    case Intent::kPush: return "push";
+  }
+  return "?";
+}
+
+const char* rule_kind_name(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kHazard: return "hazard";
+    case RuleKind::kLdgWritable: return "ldg-of-writable";
+    case RuleKind::kPushAlias: return "worklist-alias";
+    case RuleKind::kCapacityOverflow: return "capacity-overflow";
+    case RuleKind::kGhostTrespass: return "ghost-trespass";
+    case RuleKind::kMissingSpec: return "missing-spec";
+    case RuleKind::kUnknownBuffer: return "unknown-buffer";
+    case RuleKind::kCount: break;
+  }
+  return "?";
+}
+
+bool KernelSpec::covers(std::uint64_t buf_base, std::uint64_t addr,
+                        std::uint64_t size, std::uint32_t allowed_mask) const {
+  const std::uint64_t lo = addr - buf_base;
+  const std::uint64_t hi = lo + size;
+  return std::any_of(uses_.begin(), uses_.end(), [&](const BufferUse& use) {
+    return use.base == buf_base && (intent_bit(use.intent) & allowed_mask) != 0 &&
+           use.lo <= lo && hi <= use.hi;
+  });
+}
+
+bool KernelSpec::declares_push(std::uint64_t items_base) const {
+  return std::any_of(
+      push_bounds_.begin(), push_bounds_.end(),
+      [&](const PushBound& b) { return b.items_base == items_base; });
+}
+
+void LaunchPlan::on_alloc(std::uint64_t base, std::uint64_t bytes,
+                          std::string name) {
+  if (name.empty()) {
+    std::ostringstream os;
+    os << "buf@0x" << std::hex << base;
+    name = os.str();
+  }
+  buffers_.push_back(PlanBuffer{base, bytes, std::move(name)});
+}
+
+void LaunchPlan::add_launch(const std::string& kernel, const KernelSpec* spec,
+                            bool racy_visibility, std::uint32_t grid_blocks,
+                            std::uint32_t block_threads) {
+  PlanLaunch launch;
+  launch.kernel = kernel;
+  if (spec != nullptr) {
+    launch.spec = *spec;
+    launch.has_spec = true;
+  }
+  launch.racy_visibility = racy_visibility;
+  launch.grid_blocks = grid_blocks;
+  launch.block_threads = block_threads;
+  launch.region = num_barriers_;
+  launch.index = static_cast<std::uint32_t>(launches_.size());
+  launches_.push_back(std::move(launch));
+}
+
+void LaunchPlan::barrier() { ++num_barriers_; }
+
+void LaunchPlan::copy_write(std::uint64_t base, std::uint64_t lo,
+                            std::uint64_t hi, const std::string& tag) {
+  // Multidev registers the same inbound window once per peer link; keep one
+  // open copy per (base, range) so the plan mirrors the single flight.
+  for (const PlanCopy& c : copies_) {
+    if (c.end_index == PlanCopy::kOpenEnd && c.base == base && c.lo == lo &&
+        c.hi == hi) {
+      return;
+    }
+  }
+  PlanCopy copy;
+  copy.base = base;
+  copy.lo = lo;
+  copy.hi = hi;
+  copy.tag = tag;
+  copy.begin_index = static_cast<std::uint32_t>(launches_.size());
+  copies_.push_back(std::move(copy));
+}
+
+void LaunchPlan::fence() {
+  for (PlanCopy& c : copies_) {
+    if (c.end_index == PlanCopy::kOpenEnd) {
+      c.end_index = static_cast<std::uint32_t>(launches_.size());
+    }
+  }
+}
+
+const PlanBuffer* LaunchPlan::find_buffer(std::uint64_t base) const {
+  for (const PlanBuffer& b : buffers_) {
+    if (b.base == base) return &b;
+  }
+  return nullptr;
+}
+
+std::string LaunchPlan::buffer_name(std::uint64_t base) const {
+  const PlanBuffer* buf = find_buffer(base);
+  if (buf != nullptr) return buf->name;
+  std::ostringstream os;
+  os << "buf@0x" << std::hex << base;
+  return os.str();
+}
+
+std::string Finding::format() const {
+  std::ostringstream os;
+  os << "speckle-check: " << rule_kind_name(kind) << ": " << buffer
+     << " in kernel '" << kernel << "'";
+  if (!other.empty()) os << " vs '" << other << "'";
+  os << " (region " << region << ")";
+  if (!detail.empty()) os << ": " << detail;
+  os << "\n";
+  return os.str();
+}
+
+std::size_t Report::count(RuleKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.kind == kind; }));
+}
+
+std::string Report::format() const {
+  std::ostringstream os;
+  for (const Finding& f : findings) os << f.format();
+  os << "speckle-check: ";
+  if (findings.empty()) {
+    os << "clean";
+  } else {
+    os << findings.size() << " finding" << (findings.size() == 1 ? "" : "s");
+  }
+  os << " (" << launches.size() << " launches, " << barriers << " barriers, "
+     << copies << " async copies)\n";
+  return os.str();
+}
+
+std::string Report::format_plan() const {
+  std::ostringstream os;
+  os << "launch plan: " << launches.size() << " launches, " << barriers
+     << " barriers, " << copies << " async copies\n";
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    const LaunchSummary& l = launches[i];
+    os << "  [" << i << "] region " << l.region << " '" << l.kernel << "' grid "
+       << l.grid_blocks << "x" << l.block_threads;
+    if (l.racy_visibility) os << " racy";
+    if (!l.has_spec) os << " (no spec)";
+    os << "\n";
+    for (const UseSummary& u : l.uses) {
+      os << "      " << intent_name(u.intent) << " " << u.buffer << " "
+         << range_text(u.lo, u.hi) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"launches\": " << launches.size()
+     << ",\n  \"barriers\": " << barriers << ",\n  \"copies\": " << copies
+     << ",\n  \"plan\": [\n";
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    const LaunchSummary& l = launches[i];
+    os << "    {\"kernel\": \"";
+    json_escape(os, l.kernel);
+    os << "\", \"region\": " << l.region << ", \"grid\": " << l.grid_blocks
+       << ", \"block\": " << l.block_threads
+       << ", \"racy\": " << (l.racy_visibility ? "true" : "false")
+       << ", \"spec\": " << (l.has_spec ? "true" : "false") << ", \"uses\": [";
+    for (std::size_t j = 0; j < l.uses.size(); ++j) {
+      const UseSummary& u = l.uses[j];
+      os << (j == 0 ? "" : ", ") << "{\"buffer\": \"";
+      json_escape(os, u.buffer);
+      os << "\", \"intent\": \"" << intent_name(u.intent) << "\", \"lo\": "
+         << u.lo << ", \"hi\": ";
+      if (u.hi == kWholeExtent) {
+        os << "null";
+      } else {
+        os << u.hi;
+      }
+      os << "}";
+    }
+    os << "]}" << (i + 1 < launches.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "    {\"kind\": \"" << rule_kind_name(f.kind) << "\", \"kernel\": \"";
+    json_escape(os, f.kernel);
+    os << "\", \"other\": \"";
+    json_escape(os, f.other);
+    os << "\", \"buffer\": \"";
+    json_escape(os, f.buffer);
+    os << "\", \"region\": " << f.region << ", \"detail\": \"";
+    json_escape(os, f.detail);
+    os << "\"}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+void Report::merge(const Report& other) {
+  findings.insert(findings.end(), other.findings.begin(), other.findings.end());
+  launches.insert(launches.end(), other.launches.begin(), other.launches.end());
+  barriers += other.barriers;
+  copies += other.copies;
+}
+
+namespace {
+
+/// Per-rule dedup: one finding per (rule, kernel pair, buffer).
+struct Seen {
+  std::vector<std::string> keys;
+  bool insert(const std::string& key) {
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) return false;
+    keys.push_back(key);
+    return true;
+  }
+};
+
+void check_one_launch(const LaunchPlan& plan, const PlanLaunch& launch,
+                      Report& report) {
+  if (!launch.has_spec) {
+    report.findings.push_back(
+        Finding{RuleKind::kMissingSpec, launch.kernel, "", "", launch.region,
+                "launch recorded without a KernelSpec"});
+    return;
+  }
+  const auto& uses = launch.spec.uses();
+  Seen seen_unknown;
+  Seen seen_ldg;
+  for (const BufferUse& use : uses) {
+    const PlanBuffer* buf = plan.find_buffer(use.base);
+    const std::string name = plan.buffer_name(use.base);
+    if (buf == nullptr && seen_unknown.insert(name)) {
+      report.findings.push_back(
+          Finding{RuleKind::kUnknownBuffer, launch.kernel, "", name,
+                  launch.region, "spec names a base the device never allocated"});
+    }
+    // The paper's RO-cache constraint, within one kernel: __ldg data must be
+    // read-only for the whole launch.
+    if (use.intent != Intent::kLdg) continue;
+    for (const BufferUse& other : uses) {
+      if (other.base != use.base || !is_writeish(other.intent)) continue;
+      if (!overlaps(resolve(use, buf), resolve(other, buf))) continue;
+      if (!seen_ldg.insert(name)) continue;
+      report.findings.push_back(
+          Finding{RuleKind::kLdgWritable, launch.kernel, launch.kernel, name,
+                  launch.region,
+                  std::string("also declared ") + intent_name(other.intent) +
+                      " by the same kernel"});
+    }
+  }
+  // Double-buffer aliasing: a kernel must not consume the worklist it
+  // pushes into (the in/out lists swap, they never coincide).
+  Seen seen_alias;
+  for (const PushBound& bound : launch.spec.push_bounds()) {
+    const std::string name = plan.buffer_name(bound.items_base);
+    for (const BufferUse& use : uses) {
+      if (use.base != bound.items_base ||
+          (intent_bit(use.intent) & kReadLikeMask) == 0) {
+        continue;
+      }
+      if (seen_alias.insert(name)) {
+        report.findings.push_back(
+            Finding{RuleKind::kPushAlias, launch.kernel, "", name,
+                    launch.region,
+                    "kernel reads the worklist it pushes into (double "
+                    "buffers alias)"});
+      }
+    }
+    // Capacity arithmetic: each consumed item pushes at most once, so the
+    // declared bound must fit the destination's item capacity.
+    const PlanBuffer* buf = plan.find_buffer(bound.items_base);
+    if (buf == nullptr) continue;
+    const std::uint64_t capacity = buf->bytes / kWorklistItemBytes;
+    if (bound.max_items > capacity) {
+      std::ostringstream os;
+      os << "declared push bound " << bound.max_items << " exceeds capacity "
+         << capacity << " items";
+      report.findings.push_back(Finding{RuleKind::kCapacityOverflow,
+                                        launch.kernel, "", name, launch.region,
+                                        os.str()});
+    }
+  }
+}
+
+void check_region_pair(const LaunchPlan& plan, const PlanLaunch& a,
+                       const PlanLaunch& b, Report& report) {
+  Seen seen;
+  for (const BufferUse& ua : a.spec.uses()) {
+    const PlanBuffer* buf = plan.find_buffer(ua.base);
+    for (const BufferUse& ub : b.spec.uses()) {
+      if (ub.base != ua.base) continue;
+      if (compatible_across_launches(ua.intent, ub.intent)) continue;
+      if (!overlaps(resolve(ua, buf), resolve(ub, buf))) continue;
+      const std::string name = plan.buffer_name(ua.base);
+      // ldg-vs-write gets the more specific RO-cache rule; everything else
+      // is a plain ordering hazard.
+      const bool ldg_pair =
+          (ua.intent == Intent::kLdg && is_writeish(ub.intent)) ||
+          (ub.intent == Intent::kLdg && is_writeish(ua.intent));
+      const RuleKind kind =
+          ldg_pair ? RuleKind::kLdgWritable : RuleKind::kHazard;
+      if (!seen.insert(std::string(rule_kind_name(kind)) + ":" + name)) {
+        continue;
+      }
+      std::ostringstream os;
+      os << intent_name(ua.intent) << " vs " << intent_name(ub.intent)
+         << " with no intervening barrier";
+      report.findings.push_back(
+          Finding{kind, a.kernel, b.kernel, name, a.region, os.str()});
+    }
+  }
+}
+
+void check_copies(const LaunchPlan& plan, Report& report) {
+  for (const PlanCopy& copy : plan.copies()) {
+    const PlanBuffer* buf = plan.find_buffer(copy.base);
+    const ByteRange window{copy.lo, copy.hi};
+    for (const PlanLaunch& launch : plan.launches()) {
+      if (launch.index < copy.begin_index || launch.index >= copy.end_index) {
+        continue;
+      }
+      if (!launch.has_spec) continue;  // already a kMissingSpec finding
+      Seen seen;
+      for (const BufferUse& use : launch.spec.uses()) {
+        if (use.base != copy.base) continue;
+        if (!overlaps(resolve(use, buf), window)) continue;
+        const std::string name = plan.buffer_name(use.base);
+        if (!seen.insert(name)) continue;
+        std::ostringstream os;
+        os << intent_name(use.intent) << " overlaps in-flight copy bytes "
+           << range_text(copy.lo, copy.hi);
+        report.findings.push_back(Finding{RuleKind::kGhostTrespass,
+                                          launch.kernel, copy.tag, name,
+                                          launch.region, os.str()});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Report check_plan(const LaunchPlan& plan) {
+  Report report;
+  report.barriers = plan.num_barriers();
+  report.copies = static_cast<std::uint32_t>(plan.copies().size());
+
+  // Renderable summary of the IR (speckle_lint's plan dump).
+  for (const PlanLaunch& launch : plan.launches()) {
+    LaunchSummary summary;
+    summary.kernel = launch.kernel;
+    summary.grid_blocks = launch.grid_blocks;
+    summary.block_threads = launch.block_threads;
+    summary.region = launch.region;
+    summary.racy_visibility = launch.racy_visibility;
+    summary.has_spec = launch.has_spec;
+    for (const BufferUse& use : launch.spec.uses()) {
+      summary.uses.push_back(UseSummary{plan.buffer_name(use.base), use.intent,
+                                        use.lo, use.hi});
+    }
+    report.launches.push_back(std::move(summary));
+  }
+
+  // Per-launch rules, in plan order.
+  for (const PlanLaunch& launch : plan.launches()) {
+    check_one_launch(plan, launch, report);
+  }
+  // Inter-launch rules: launches sharing an inter-barrier region are
+  // concurrent; scan ordered pairs.
+  const auto& launches = plan.launches();
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    if (!launches[i].has_spec) continue;
+    for (std::size_t j = i + 1; j < launches.size(); ++j) {
+      if (launches[j].region != launches[i].region) break;
+      if (!launches[j].has_spec) continue;
+      check_region_pair(plan, launches[i], launches[j], report);
+    }
+  }
+  // Async-copy windows (multidev ghost exchange).
+  check_copies(plan, report);
+  return report;
+}
+
+}  // namespace speckle::check

@@ -1,0 +1,334 @@
+#pragma once
+/// \file check.hpp
+/// speckle::check — static dataflow verification of kernel launch plans.
+///
+/// The simulator's correctness rests on dataflow contracts the kernels never
+/// state: __ldg is only legal on buffers nothing writes during the launch,
+/// scan-push worklists must not alias their double buffers, speculative and
+/// resolve kernels rely on a strict write -> barrier -> read order, and the
+/// multi-device pipeline must keep ghost rows untouched while an exchange is
+/// in flight. speckle::check makes those contracts explicit and verifiable
+/// *before* any wave executes:
+///
+///   1. Each kernel declares a KernelSpec: every buffer it touches, with an
+///      intent (read / ldg / write / racy / atomic / push) and an optional
+///      byte range. Device::launch records the spec, the grid, and every
+///      synchronization point into a per-run LaunchPlan IR (enabled by
+///      DeviceConfig::check).
+///   2. check_plan() is a pure, deterministic pass over the plan that flags
+///      hazards (RAW/WAR/WAW with no intervening barrier), ldg of a buffer
+///      writable in the same inter-barrier region (the paper's RO-cache
+///      constraint), worklist double-buffer aliasing, push counts that can
+///      overflow the worklist capacity, and accesses that overlap an
+///      in-flight asynchronous copy (multidev ghost exchange).
+///   3. The sanitizer closes the loop at runtime: in sanitize mode any
+///      dynamic access outside the declared intent is a deterministic
+///      san::FindingKind::kUndeclaredAccess, so specs cannot rot.
+///
+/// The header is standalone (no simt includes): spec builders duck-type on
+/// Buffer's base_addr()/byte_size()/addr_of() and Worklist's items()/tail(),
+/// so tests can also hand-build plans from raw addresses.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace speckle::check {
+
+/// Declared way a kernel touches a buffer. One buffer may carry several
+/// uses with different intents (e.g. plain reads plus racy stores on the
+/// color array of a speculation kernel).
+enum class Intent : std::uint8_t {
+  kRead,    ///< plain device loads (Thread::ld)
+  kLdg,     ///< read-only-cache loads (Thread::ldg); implies kRead
+  kWrite,   ///< plain stores (Thread::st)
+  kRacy,    ///< speculative stores (Thread::st_racy) — declared-racy channel
+  kAtomic,  ///< atomic read-modify-writes (Thread::atomic_*)
+  kPush,    ///< worklist appends (scan_push, or atomic-tail + item stores)
+};
+const char* intent_name(Intent intent);
+
+/// Sentinel byte extent meaning "to the end of the buffer".
+inline constexpr std::uint64_t kWholeExtent = ~0ULL;
+
+/// One declared use: a byte range [base+lo, base+hi) and an intent.
+struct BufferUse {
+  std::uint64_t base = 0;  ///< buffer base address (the plan's buffer key)
+  std::uint64_t lo = 0;    ///< byte offset of the first touched byte
+  std::uint64_t hi = kWholeExtent;  ///< one past the last touched byte
+  Intent intent = Intent::kRead;
+
+  bool operator==(const BufferUse&) const = default;
+};
+
+/// Declared max items appended to a worklist by one launch, keyed by the
+/// worklist's items-buffer base. check_plan() compares it to the capacity.
+struct PushBound {
+  std::uint64_t items_base = 0;
+  std::uint64_t max_items = 0;
+
+  bool operator==(const PushBound&) const = default;
+};
+
+/// The declared access set of one kernel. Built fluently next to the kernel
+/// body; the builder methods duck-type on the simt Buffer/Worklist shapes so
+/// this header stays dependency-free:
+///
+///   check::KernelSpec spec;
+///   spec.ldg(dg.row).ldg(dg.col)
+///       .reads(w_in->items(), 0, count)
+///       .reads(colors).racy(colors)
+///       .pushes(*w_out, count);
+class KernelSpec {
+ public:
+  /// Raw-address escape hatch (victim plans, hand-built tests).
+  KernelSpec& use(std::uint64_t base, Intent intent, std::uint64_t lo = 0,
+                  std::uint64_t hi = kWholeExtent) {
+    uses_.push_back(BufferUse{base, lo, hi, intent});
+    return *this;
+  }
+
+  template <typename Buf>
+  KernelSpec& reads(const Buf& buf) {
+    return use(buf.base_addr(), Intent::kRead);
+  }
+  /// Element range [first, last) — converted to bytes via addr_of().
+  template <typename Buf>
+  KernelSpec& reads(const Buf& buf, std::size_t first, std::size_t last) {
+    return use_elems(buf, Intent::kRead, first, last);
+  }
+  template <typename Buf>
+  KernelSpec& ldg(const Buf& buf) {
+    return use(buf.base_addr(), Intent::kLdg);
+  }
+  template <typename Buf>
+  KernelSpec& writes(const Buf& buf) {
+    return use(buf.base_addr(), Intent::kWrite);
+  }
+  template <typename Buf>
+  KernelSpec& writes(const Buf& buf, std::size_t first, std::size_t last) {
+    return use_elems(buf, Intent::kWrite, first, last);
+  }
+  template <typename Buf>
+  KernelSpec& racy(const Buf& buf) {
+    return use(buf.base_addr(), Intent::kRacy);
+  }
+  template <typename Buf>
+  KernelSpec& racy(const Buf& buf, std::size_t first, std::size_t last) {
+    return use_elems(buf, Intent::kRacy, first, last);
+  }
+  template <typename Buf>
+  KernelSpec& atomics(const Buf& buf) {
+    return use(buf.base_addr(), Intent::kAtomic);
+  }
+
+  /// Declare appends to a worklist (covers both push paths: block-wide
+  /// scan_push, and atomic tail bump + item store). `max_items` is the
+  /// kernel's worst-case push count for this launch — typically the size of
+  /// the worklist it consumes, since each item pushes at most once.
+  template <typename Wl>
+  KernelSpec& pushes(const Wl& worklist, std::uint64_t max_items) {
+    use(worklist.items().base_addr(), Intent::kPush);
+    use(worklist.tail().base_addr(), Intent::kPush);
+    push_bounds_.push_back(
+        PushBound{worklist.items().base_addr(), max_items});
+    return *this;
+  }
+  /// Raw-address form of pushes() for hand-built plans.
+  KernelSpec& pushes_raw(std::uint64_t items_base, std::uint64_t tail_base,
+                         std::uint64_t max_items) {
+    use(items_base, Intent::kPush);
+    use(tail_base, Intent::kPush);
+    push_bounds_.push_back(PushBound{items_base, max_items});
+    return *this;
+  }
+
+  const std::vector<BufferUse>& uses() const { return uses_; }
+  const std::vector<PushBound>& push_bounds() const { return push_bounds_; }
+
+  /// True when some use covers [addr, addr+size) under an intent in
+  /// `allowed` (bitmask of 1u << Intent). The sanitizer's per-access hook.
+  bool covers(std::uint64_t buf_base, std::uint64_t addr, std::uint64_t size,
+              std::uint32_t allowed_mask) const;
+  /// True when the spec declares pushes into the worklist whose items
+  /// buffer starts at `items_base`.
+  bool declares_push(std::uint64_t items_base) const;
+
+  bool operator==(const KernelSpec&) const = default;
+
+ private:
+  template <typename Buf>
+  KernelSpec& use_elems(const Buf& buf, Intent intent, std::size_t first,
+                        std::size_t last) {
+    const std::uint64_t base = buf.base_addr();
+    return use(base, intent, buf.addr_of(first) - base,
+               buf.addr_of(last) - base);
+  }
+
+  std::vector<BufferUse> uses_;
+  std::vector<PushBound> push_bounds_;
+};
+
+/// Bitmask helper for KernelSpec::covers.
+constexpr std::uint32_t intent_bit(Intent intent) {
+  return 1U << static_cast<std::uint32_t>(intent);
+}
+
+// ---------------------------------------------------------------------------
+// The LaunchPlan IR.
+
+/// An allocation the plan knows about (from Device::alloc).
+struct PlanBuffer {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  std::string name;
+
+  bool operator==(const PlanBuffer&) const = default;
+};
+
+/// One recorded kernel launch.
+struct PlanLaunch {
+  std::string kernel;
+  KernelSpec spec;
+  bool has_spec = false;        ///< false = legacy spec-less launch
+  bool racy_visibility = false; ///< LaunchConfig::racy_visibility
+  std::uint32_t grid_blocks = 0;
+  std::uint32_t block_threads = 0;
+  std::uint32_t region = 0;  ///< inter-barrier region index
+  std::uint32_t index = 0;   ///< position in plan order
+
+  bool operator==(const PlanLaunch&) const = default;
+};
+
+/// An asynchronous inbound copy writing bytes [lo, hi) of a buffer while
+/// launches may still be running (multidev ghost exchange). Launches with
+/// index in [begin_index, end_index) are concurrent with the flight;
+/// end_index stays kOpenEnd until a fence() retires the copy.
+struct PlanCopy {
+  static constexpr std::uint32_t kOpenEnd = ~0U;
+  std::uint64_t base = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::string tag;  ///< human-readable source ("ghost-exchange", ...)
+  std::uint32_t begin_index = 0;
+  std::uint32_t end_index = kOpenEnd;
+
+  bool operator==(const PlanCopy&) const = default;
+};
+
+/// The per-run IR the checker consumes. Device appends to it when
+/// DeviceConfig::check is on; tests hand-build victim plans directly.
+class LaunchPlan {
+ public:
+  void on_alloc(std::uint64_t base, std::uint64_t bytes, std::string name);
+  void add_launch(const std::string& kernel, const KernelSpec* spec,
+                  bool racy_visibility, std::uint32_t grid_blocks,
+                  std::uint32_t block_threads);
+  /// End the current inter-barrier region (stream synchronization).
+  void barrier();
+  /// Begin an async copy writing [lo, hi) of `base`. Idempotent while the
+  /// same range is already in flight (multidev registers per peer link).
+  void copy_write(std::uint64_t base, std::uint64_t lo, std::uint64_t hi,
+                  const std::string& tag);
+  /// Retire every in-flight copy (the consume point's synchronization).
+  void fence();
+
+  const std::vector<PlanBuffer>& buffers() const { return buffers_; }
+  const std::vector<PlanLaunch>& launches() const { return launches_; }
+  const std::vector<PlanCopy>& copies() const { return copies_; }
+  std::uint32_t num_barriers() const { return num_barriers_; }
+
+  const PlanBuffer* find_buffer(std::uint64_t base) const;
+  /// Buffer name, or "buf@0x<base>" for addresses the plan never saw.
+  std::string buffer_name(std::uint64_t base) const;
+
+ private:
+  std::vector<PlanBuffer> buffers_;
+  std::vector<PlanLaunch> launches_;
+  std::vector<PlanCopy> copies_;
+  std::uint32_t num_barriers_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The checker.
+
+enum class RuleKind : std::uint8_t {
+  kHazard,            ///< RAW/WAR/WAW between launches with no barrier
+  kLdgWritable,       ///< ldg of a buffer writable in the same region
+  kPushAlias,         ///< kernel reads the worklist it pushes into
+  kCapacityOverflow,  ///< declared push bound exceeds worklist capacity
+  kGhostTrespass,     ///< access overlaps an in-flight async copy range
+  kMissingSpec,       ///< launch recorded without a KernelSpec
+  kUnknownBuffer,     ///< spec names a base the device never allocated
+  kCount,
+};
+const char* rule_kind_name(RuleKind kind);
+
+/// One deterministic checker finding. `kernel` is the flagged launch,
+/// `other` the second party (hazard partner, copy tag, ...) when the rule
+/// involves one.
+struct Finding {
+  RuleKind kind = RuleKind::kCount;
+  std::string kernel;
+  std::string other;
+  std::string buffer;
+  std::uint32_t region = 0;
+  std::string detail;
+
+  std::string format() const;
+  bool operator==(const Finding&) const = default;
+};
+
+/// Render of one declared use for the plan dump (buffer resolved to name).
+struct UseSummary {
+  std::string buffer;
+  Intent intent = Intent::kRead;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = kWholeExtent;  ///< kWholeExtent = whole buffer
+
+  bool operator==(const UseSummary&) const = default;
+};
+
+/// Render of one recorded launch for the plan dump.
+struct LaunchSummary {
+  std::string kernel;
+  std::uint32_t grid_blocks = 0;
+  std::uint32_t block_threads = 0;
+  std::uint32_t region = 0;
+  bool racy_visibility = false;
+  bool has_spec = false;
+  std::vector<UseSummary> uses;
+
+  bool operator==(const LaunchSummary&) const = default;
+};
+
+/// Checker output: findings plus a renderable summary of the plan itself
+/// (what speckle_lint dumps). Deterministic — equal inputs give equal
+/// reports, bit-identical at every --threads value.
+struct Report {
+  std::vector<Finding> findings;
+  std::vector<LaunchSummary> launches;
+  std::uint32_t barriers = 0;
+  std::uint32_t copies = 0;
+
+  bool clean() const { return findings.empty(); }
+  std::size_t count(RuleKind kind) const;
+  /// Findings plus a one-line summary (what speckle_color prints).
+  std::string format() const;
+  /// The launch-plan IR, one line per launch with its declared uses.
+  std::string format_plan() const;
+  /// Machine-readable dump: {"launches": N, "barriers": N, "copies": N,
+  /// "plan": [...], "findings": [...]}.
+  std::string to_json() const;
+  /// Merge another device's report (multidev fleet view; kernel and buffer
+  /// names are expected to already carry the "d<k>." prefix).
+  void merge(const Report& other);
+
+  bool operator==(const Report&) const = default;
+};
+
+/// The checker proper: a pure function of the plan.
+Report check_plan(const LaunchPlan& plan);
+
+}  // namespace speckle::check

@@ -81,6 +81,15 @@ struct DeviceConfig {
   /// is added anywhere.
   bool profile = false;
 
+  /// Enable the speckle::check static analysis layer (check.hpp): every
+  /// launch (with its declared KernelSpec) and synchronization point is
+  /// recorded into a LaunchPlan IR, and Device::check_report() runs the
+  /// pure dataflow checker over it (hazards, ldg-of-writable, worklist
+  /// aliasing/capacity, in-flight-copy trespass). Recording is host-side
+  /// only — per-access cost is zero. Combine with `sanitize` to also have
+  /// the sanitizer flag any dynamic access outside the declared intents.
+  bool check = false;
+
   /// Peak DRAM bytes per core cycle (used for bandwidth capping and the
   /// achieved-bandwidth metric of Fig 3).
   double dram_bytes_per_cycle() const {

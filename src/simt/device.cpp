@@ -63,6 +63,9 @@ Device::Device(DeviceConfig config)
   if (config_.profile) {
     prof_ = std::make_unique<prof::Profiler>(config_);
   }
+  if (config_.check) {
+    plan_ = std::make_unique<check::LaunchPlan>();
+  }
 }
 
 Device::~Device() = default;
@@ -78,14 +81,28 @@ std::uint64_t Device::allocate_range(std::uint64_t bytes) {
 
 const KernelStats& Device::launch(const LaunchConfig& cfg, const std::string& name,
                                   const Kernel& body) {
-  return run_grid(cfg, name, {body});
+  return run_grid(cfg, name, {body}, nullptr);
 }
 
 const KernelStats& Device::launch_phased(const LaunchConfig& cfg,
                                          const std::string& name,
                                          const std::vector<Kernel>& phases) {
   SPECKLE_CHECK(!phases.empty(), "launch_phased needs at least one phase");
-  return run_grid(cfg, name, phases);
+  return run_grid(cfg, name, phases, nullptr);
+}
+
+const KernelStats& Device::launch(const LaunchConfig& cfg, const std::string& name,
+                                  const check::KernelSpec& spec,
+                                  const Kernel& body) {
+  return run_grid(cfg, name, {body}, &spec);
+}
+
+const KernelStats& Device::launch_phased(const LaunchConfig& cfg,
+                                         const std::string& name,
+                                         const check::KernelSpec& spec,
+                                         const std::vector<Kernel>& phases) {
+  SPECKLE_CHECK(!phases.empty(), "launch_phased needs at least one phase");
+  return run_grid(cfg, name, phases, &spec);
 }
 
 namespace {
@@ -327,11 +344,22 @@ bool Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& ph
 }
 
 const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& name,
-                                    const std::vector<Kernel>& phases) {
+                                    const std::vector<Kernel>& phases,
+                                    const check::KernelSpec* spec) {
   SPECKLE_CHECK(cfg.grid_blocks >= 1, "kernel launched with an empty grid");
   memory_.begin_kernel();
   ensure_executor();
-  if (san_ != nullptr) san_->begin_launch(name, cfg.racy_visibility);
+  if (san_ != nullptr) san_->begin_launch(name, cfg.racy_visibility, spec);
+  if (plan_ != nullptr) {
+    plan_->add_launch(name, spec, cfg.racy_visibility, cfg.grid_blocks,
+                      cfg.block_threads);
+    // Host launches here are stream-ordered and synchronous: the next
+    // launch only starts after this one drained, so each launch closes its
+    // own inter-barrier region. Concurrency enters the plan through the
+    // async-copy windows (plan_copy_write/plan_copy_fence) and through
+    // hand-built victim plans.
+    plan_->barrier();
+  }
 
   const std::uint32_t occupancy = occupancy_blocks_per_sm(config_, cfg);
   if (prof_ != nullptr) {

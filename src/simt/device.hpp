@@ -25,6 +25,7 @@
 
 #include "prof/prof.hpp"
 #include "simt/buffer.hpp"
+#include "simt/check.hpp"
 #include "simt/config.hpp"
 #include "simt/memory.hpp"
 #include "simt/san.hpp"
@@ -55,6 +56,7 @@ class Device {
     const std::uint64_t bytes = count * sizeof(T);
     const std::uint64_t base = allocate_range(bytes);
     if (prof_ != nullptr) prof_->on_alloc(base, bytes, name);
+    if (plan_ != nullptr) plan_->on_alloc(base, bytes, name);
     if (san_ != nullptr) san_->on_alloc(base, bytes, std::move(name));
     return Buffer<T>(base, count, san_.get());
   }
@@ -68,6 +70,19 @@ class Device {
   /// Launch a kernel expressed as phases with an implicit block-wide barrier
   /// between consecutive phases (__syncthreads at each phase boundary).
   const KernelStats& launch_phased(const LaunchConfig& cfg, const std::string& name,
+                                   const std::vector<Kernel>& phases);
+
+  /// Spec-carrying launches (speckle::check): `spec` declares every buffer
+  /// the kernel touches with an intent and optional range. With
+  /// DeviceConfig::check the spec is recorded into the LaunchPlan; with
+  /// DeviceConfig::sanitize the sanitizer flags any dynamic access outside
+  /// it (kUndeclaredAccess). The spec-less overloads above stay valid but
+  /// are flagged kMissingSpec by the checker.
+  const KernelStats& launch(const LaunchConfig& cfg, const std::string& name,
+                            const check::KernelSpec& spec, const Kernel& body);
+  const KernelStats& launch_phased(const LaunchConfig& cfg,
+                                   const std::string& name,
+                                   const check::KernelSpec& spec,
                                    const std::vector<Kernel>& phases);
 
   /// Charge a host-to-device / device-to-host transfer of `bytes` to the
@@ -131,6 +146,28 @@ class Device {
     return prof_ != nullptr ? prof_->report() : prof::Report{};
   }
 
+  /// Non-null iff DeviceConfig::check was set.
+  check::LaunchPlan* plan() { return plan_.get(); }
+  bool checking() const { return plan_ != nullptr; }
+  /// Run the static checker over the accumulated launch plan (empty report
+  /// when checking is off). Pure — safe to call any number of times.
+  check::Report check_report() const {
+    return plan_ != nullptr ? check::check_plan(*plan_) : check::Report{};
+  }
+
+  /// Record an asynchronous inbound write of bytes [lo, hi) into the buffer
+  /// at `base` (multidev ghost exchange) into the launch plan: launches
+  /// recorded before the next plan_copy_fence() are concurrent with the
+  /// flight and must not touch the window. No-ops when checking is off.
+  void plan_copy_write(std::uint64_t base, std::uint64_t lo, std::uint64_t hi,
+                       const std::string& tag) {
+    if (plan_ != nullptr) plan_->copy_write(base, lo, hi, tag);
+  }
+  /// The consume point: retire every in-flight planned copy.
+  void plan_copy_fence() {
+    if (plan_ != nullptr) plan_->fence();
+  }
+
  private:
   friend class Thread;
 
@@ -142,7 +179,8 @@ class Device {
 
   std::uint64_t allocate_range(std::uint64_t bytes);
   const KernelStats& run_grid(const LaunchConfig& cfg, const std::string& name,
-                              const std::vector<Kernel>& phases);
+                              const std::vector<Kernel>& phases,
+                              const check::KernelSpec* spec);
   void ensure_executor();
   void execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& phases,
                      std::uint32_t block, std::uint32_t warps_per_block,
@@ -160,6 +198,7 @@ class Device {
   DeviceReport report_;
   std::unique_ptr<san::Sanitizer> san_;  ///< null unless config_.sanitize
   std::unique_ptr<prof::Profiler> prof_;  ///< null unless config_.profile
+  std::unique_ptr<check::LaunchPlan> plan_;  ///< null unless config_.check
   std::uint64_t next_addr_ = 0x1000;
 
   // Parallel wave executor state (lazily built on the first launch).

@@ -37,6 +37,28 @@ std::uint32_t other_than(const std::uint32_t (&slots)[2], std::uint32_t not_this
   return Finding::kNoBlock;
 }
 
+/// Which declared intents legitimize a dynamic access of this kind. A plain
+/// load is fine on an ldg-declared buffer (weaker promise), stores and tail
+/// atomics of a push path are covered by the push declaration, but an __ldg
+/// needs the explicit ldg intent and a racy store the explicit racy one.
+std::uint32_t allowed_intents(AccessKind kind) {
+  using check::Intent;
+  using check::intent_bit;
+  switch (kind) {
+    case AccessKind::kLoad:
+      return intent_bit(Intent::kRead) | intent_bit(Intent::kLdg);
+    case AccessKind::kLdg:
+      return intent_bit(Intent::kLdg);
+    case AccessKind::kStore:
+      return intent_bit(Intent::kWrite) | intent_bit(Intent::kPush);
+    case AccessKind::kStoreRacy:
+      return intent_bit(Intent::kRacy);
+    case AccessKind::kAtomic:
+      return intent_bit(Intent::kAtomic) | intent_bit(Intent::kPush);
+  }
+  return 0;
+}
+
 }  // namespace
 
 const char* access_kind_name(AccessKind k) {
@@ -58,6 +80,7 @@ const char* finding_kind_name(FindingKind k) {
     case FindingKind::kLdgDirty: return "ldg-dirty-line";
     case FindingKind::kWorklistOverflow: return "worklist-overflow";
     case FindingKind::kWorklistAlias: return "worklist-aliasing";
+    case FindingKind::kUndeclaredAccess: return "undeclared-access";
     case FindingKind::kCount: break;
   }
   return "?";
@@ -171,9 +194,11 @@ bool Sanitizer::is_defined(BufferInfo* info, std::uint64_t addr,
   return true;
 }
 
-void Sanitizer::begin_launch(const std::string& kernel, bool racy_visibility) {
+void Sanitizer::begin_launch(const std::string& kernel, bool racy_visibility,
+                             const check::KernelSpec* spec) {
   kernel_ = kernel;
   racy_visibility_ = racy_visibility;
+  spec_ = spec;
   in_launch_ = true;
   words_.clear();
   word_order_.clear();
@@ -230,6 +255,14 @@ void Sanitizer::commit_block(const BlockLog& log) {
       add_finding(FindingKind::kOutOfBounds, a.kind, a.buf_base, a.addr, block,
                   a.thread);
       continue;  // the access was suppressed; no shadow updates
+    }
+    // Spec cross-validation (speckle::check): every in-bounds access must
+    // fall inside a declared intent and range. OOB accesses were suppressed
+    // above — the extent check already owns those.
+    if (spec_ != nullptr &&
+        !spec_->covers(a.buf_base, a.addr, a.size, allowed_intents(a.kind))) {
+      add_finding(FindingKind::kUndeclaredAccess, a.kind, a.buf_base, a.addr,
+                  block, a.thread);
     }
     BufferInfo* info = find_buffer(a.addr);
     const std::uint64_t word = word_align(a.addr);
@@ -351,10 +384,17 @@ void Sanitizer::end_launch() {
       add_finding(FindingKind::kWorklistAlias, AccessKind::kStore,
                   site.target.items_base, site.target.items_base, site.block, 0);
     }
+    // Spec cross-validation: scan_push destinations must be declared via
+    // KernelSpec::pushes (the atomic-tail push path is covered per access).
+    if (spec_ != nullptr && !spec_->declares_push(site.target.items_base)) {
+      add_finding(FindingKind::kUndeclaredAccess, AccessKind::kStore,
+                  site.target.items_base, site.target.items_base, site.block, 0);
+    }
   }
 
   kernel_.clear();
   in_launch_ = false;
+  spec_ = nullptr;
 }
 
 }  // namespace speckle::san

@@ -29,6 +29,11 @@
 ///   * kWorklistAlias    — a kernel pushes into a worklist whose item or
 ///                         tail buffer it also reads (double-buffer
 ///                         aliasing, e.g. W_in used as W_out)
+///   * kUndeclaredAccess — with a check::KernelSpec attached to the launch,
+///                         any dynamic access (or worklist push) outside the
+///                         declared intents/ranges. This is the dynamic half
+///                         of speckle::check: the static checker trusts the
+///                         specs, the sanitizer proves they cannot rot.
 ///
 /// Findings are deduplicated per (kind, kernel, buffer) with an occurrence
 /// count; the first occurrence's address and block/warp/lane are kept.
@@ -37,6 +42,8 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "simt/check.hpp"
 
 namespace speckle::san {
 
@@ -59,6 +66,7 @@ enum class FindingKind : std::uint8_t {
   kLdgDirty,
   kWorklistOverflow,
   kWorklistAlias,
+  kUndeclaredAccess,
   kCount
 };
 
@@ -182,8 +190,12 @@ class Sanitizer {
 
   /// Launch boundaries. Launch-wide state (the per-word conflict map and
   /// the dirtied/ldg-read line sets) resets at begin; conflicts are
-  /// reported at end.
-  void begin_launch(const std::string& kernel, bool racy_visibility);
+  /// reported at end. `spec` (may be null for legacy spec-less launches)
+  /// enables the kUndeclaredAccess detector: every folded access must fall
+  /// inside a declared intent/range. The pointer must stay valid until
+  /// end_launch.
+  void begin_launch(const std::string& kernel, bool racy_visibility,
+                    const check::KernelSpec* spec = nullptr);
   void end_launch();
 
   /// Fold one block's log, in ascending block order (the executor's commit
@@ -238,6 +250,7 @@ class Sanitizer {
   std::string kernel_;
   bool racy_visibility_ = false;
   bool in_launch_ = false;  ///< suppresses host-write hooks (see above)
+  const check::KernelSpec* spec_ = nullptr;  ///< declared accesses, or null
   /// Word-granular conflict map; `word_order_` preserves first-touch order
   /// so end-of-launch reporting is schedule-independent.
   std::unordered_map<std::uint64_t, WordState> words_;

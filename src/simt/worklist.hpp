@@ -33,6 +33,7 @@ class Worklist {
   Buffer<std::uint32_t>& items() { return items_; }
   const Buffer<std::uint32_t>& items() const { return items_; }
   Buffer<std::uint32_t>& tail() { return tail_; }
+  const Buffer<std::uint32_t>& tail() const { return tail_; }
 
   /// Host-side size/reset (between kernel launches).
   std::uint32_t size() const { return tail_[0]; }

@@ -1,0 +1,455 @@
+// Tests for speckle::check, the static launch-plan dataflow checker.
+//
+// Three layers:
+//   * victim plans — one hand-seeded LaunchPlan per checker rule, asserting
+//     the exact deterministic finding (rule, kernel, partner, buffer);
+//   * sanitizer cross-validation — a Device run whose spec under-declares
+//     what the kernel touches must produce san::kUndeclaredAccess, and the
+//     corrected spec must be silent (specs cannot rot);
+//   * spec/dynamic agreement — every GPU scheme and the multi-device
+//     pipeline run with check + sanitize enabled: the checker is clean, the
+//     sanitizer observes no access outside the declared intents, and the
+//     reports are bit-identical at --threads=1 and --threads=4.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coloring/distance2.hpp"
+#include "coloring/runner.hpp"
+#include "graph/suite.hpp"
+#include "simt/check.hpp"
+#include "simt/device.hpp"
+#include "simt/san.hpp"
+#include "simt/worklist.hpp"
+
+namespace {
+
+using namespace speckle;
+using check::Intent;
+using check::RuleKind;
+
+// Hand-built plans use synthetic 256-byte buffers at fixed addresses.
+constexpr std::uint64_t kBufA = 0x1000;
+constexpr std::uint64_t kBufB = 0x2000;
+constexpr std::uint64_t kTail = 0x3000;
+
+check::LaunchPlan two_buffer_plan() {
+  check::LaunchPlan plan;
+  plan.on_alloc(kBufA, 256, "alpha");
+  plan.on_alloc(kBufB, 256, "beta.items");
+  plan.on_alloc(kTail, 4, "beta.tail");
+  return plan;
+}
+
+// --- victim plans, one per rule -------------------------------------------
+
+TEST(CheckVictim, MissingBarrierBetweenWriterAndReaderIsAHazard) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec writer;
+  writer.use(kBufA, Intent::kWrite);
+  check::KernelSpec reader;
+  reader.use(kBufA, Intent::kRead);
+  plan.add_launch("writer", &writer, false, 4, 128);
+  plan.add_launch("reader", &reader, false, 4, 128);  // no barrier() between
+  plan.barrier();
+
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  const check::Finding& f = report.findings[0];
+  EXPECT_EQ(f.kind, RuleKind::kHazard);
+  EXPECT_EQ(f.kernel, "writer");
+  EXPECT_EQ(f.other, "reader");
+  EXPECT_EQ(f.buffer, "alpha");
+  EXPECT_EQ(f.region, 0u);
+  EXPECT_EQ(f.detail, "write vs read with no intervening barrier");
+}
+
+TEST(CheckVictim, BarrierBetweenLaunchesSuppressesTheHazard) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec writer;
+  writer.use(kBufA, Intent::kWrite);
+  check::KernelSpec reader;
+  reader.use(kBufA, Intent::kRead);
+  plan.add_launch("writer", &writer, false, 4, 128);
+  plan.barrier();
+  plan.add_launch("reader", &reader, false, 4, 128);
+  plan.barrier();
+  EXPECT_TRUE(check::check_plan(plan).clean());
+}
+
+TEST(CheckVictim, DisjointRangesInOneRegionAreCompatible) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec lo_half;
+  lo_half.use(kBufA, Intent::kWrite, 0, 128);
+  check::KernelSpec hi_half;
+  hi_half.use(kBufA, Intent::kRead, 128, 256);
+  plan.add_launch("lo", &lo_half, false, 1, 128);
+  plan.add_launch("hi", &hi_half, false, 1, 128);
+  plan.barrier();
+  EXPECT_TRUE(check::check_plan(plan).clean());
+}
+
+TEST(CheckVictim, LdgOfBufferWrittenInSameRegion) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec ro_reader;
+  ro_reader.use(kBufA, Intent::kLdg);
+  check::KernelSpec writer;
+  writer.use(kBufA, Intent::kWrite);
+  plan.add_launch("ro_reader", &ro_reader, false, 4, 128);
+  plan.add_launch("writer", &writer, false, 4, 128);
+  plan.barrier();
+
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, RuleKind::kLdgWritable);
+  EXPECT_EQ(report.findings[0].kernel, "ro_reader");
+  EXPECT_EQ(report.findings[0].other, "writer");
+  EXPECT_EQ(report.findings[0].buffer, "alpha");
+}
+
+TEST(CheckVictim, LdgOfBufferTheSameKernelWrites) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec spec;
+  spec.use(kBufA, Intent::kLdg).use(kBufA, Intent::kRacy);
+  plan.add_launch("speculator", &spec, true, 4, 128);
+  plan.barrier();
+
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, RuleKind::kLdgWritable);
+  EXPECT_EQ(report.findings[0].kernel, "speculator");
+  EXPECT_EQ(report.findings[0].other, "speculator");
+  EXPECT_EQ(report.findings[0].detail,
+            "also declared racy by the same kernel");
+}
+
+TEST(CheckVictim, AliasedDoubleBufferIsFlagged) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec spec;
+  // The kernel consumes beta AND pushes into beta: the double buffers
+  // coincide (a std::swap that never happened).
+  spec.use(kBufB, Intent::kRead, 0, 64).pushes_raw(kBufB, kTail, 16);
+  plan.add_launch("detect", &spec, false, 1, 128);
+  plan.barrier();
+
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, RuleKind::kPushAlias);
+  EXPECT_EQ(report.findings[0].kernel, "detect");
+  EXPECT_EQ(report.findings[0].buffer, "beta.items");
+}
+
+TEST(CheckVictim, PushBoundBeyondCapacityOverflows) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec spec;
+  // beta.items holds 256/4 = 64 items; declaring 65 can overflow.
+  spec.pushes_raw(kBufB, kTail, 65);
+  plan.add_launch("pusher", &spec, false, 1, 128);
+  plan.barrier();
+
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, RuleKind::kCapacityOverflow);
+  EXPECT_EQ(report.findings[0].buffer, "beta.items");
+  EXPECT_EQ(report.findings[0].detail,
+            "declared push bound 65 exceeds capacity 64 items");
+
+  // The exact capacity is fine.
+  check::LaunchPlan ok = two_buffer_plan();
+  check::KernelSpec fits;
+  fits.pushes_raw(kBufB, kTail, 64);
+  ok.add_launch("pusher", &fits, false, 1, 128);
+  ok.barrier();
+  EXPECT_TRUE(check::check_plan(ok).clean());
+}
+
+TEST(CheckVictim, GhostRowTrespassDuringInFlightExchange) {
+  check::LaunchPlan plan = two_buffer_plan();
+  // Bytes [128, 256) of alpha are being overwritten by an async copy.
+  plan.copy_write(kBufA, 128, 256, "ghost-exchange");
+  check::KernelSpec trespasser;
+  trespasser.use(kBufA, Intent::kRead);  // whole extent: overlaps the window
+  plan.add_launch("trespasser", &trespasser, false, 1, 128);
+  plan.barrier();
+
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  const check::Finding& f = report.findings[0];
+  EXPECT_EQ(f.kind, RuleKind::kGhostTrespass);
+  EXPECT_EQ(f.kernel, "trespasser");
+  EXPECT_EQ(f.other, "ghost-exchange");
+  EXPECT_EQ(f.buffer, "alpha");
+  EXPECT_EQ(f.detail, "read overlaps in-flight copy bytes [128,256)");
+}
+
+TEST(CheckVictim, OwnedPrefixAccessAndPostFenceAccessAreClean) {
+  check::LaunchPlan plan = two_buffer_plan();
+  plan.copy_write(kBufA, 128, 256, "ghost-exchange");
+  check::KernelSpec owned_only;
+  owned_only.use(kBufA, Intent::kRead, 0, 128);  // stays out of the window
+  plan.add_launch("interior", &owned_only, false, 1, 128);
+  plan.barrier();
+  plan.fence();
+  check::KernelSpec full;
+  full.use(kBufA, Intent::kRead);  // after the fence: legal again
+  plan.add_launch("consumer", &full, false, 1, 128);
+  plan.barrier();
+  EXPECT_TRUE(check::check_plan(plan).clean());
+}
+
+TEST(CheckVictim, SpecLessLaunchIsFlagged) {
+  check::LaunchPlan plan = two_buffer_plan();
+  plan.add_launch("legacy", nullptr, false, 1, 128);
+  plan.barrier();
+
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, RuleKind::kMissingSpec);
+  EXPECT_EQ(report.findings[0].kernel, "legacy");
+}
+
+TEST(CheckVictim, UnknownBufferBaseIsFlagged) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec spec;
+  spec.use(0xdead000, Intent::kRead);
+  plan.add_launch("stray", &spec, false, 1, 128);
+  plan.barrier();
+
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, RuleKind::kUnknownBuffer);
+  EXPECT_EQ(report.findings[0].buffer, "buf@0xdead000");
+}
+
+TEST(CheckVictim, AtomicsMayShareARegionButWritesMayNot) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec a;
+  a.use(kBufA, Intent::kAtomic);
+  check::KernelSpec b;
+  b.use(kBufA, Intent::kAtomic);
+  plan.add_launch("atomic_a", &a, false, 1, 128);
+  plan.add_launch("atomic_b", &b, false, 1, 128);
+  plan.barrier();
+  EXPECT_TRUE(check::check_plan(plan).clean());
+
+  check::KernelSpec w;
+  w.use(kBufA, Intent::kWrite);
+  plan.add_launch("writer_a", &w, false, 1, 128);
+  plan.add_launch("writer_b", &w, false, 1, 128);
+  plan.barrier();
+  const check::Report report = check::check_plan(plan);
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, RuleKind::kHazard);
+}
+
+TEST(CheckVictim, CheckPlanIsDeterministic) {
+  check::LaunchPlan plan = two_buffer_plan();
+  check::KernelSpec spec;
+  spec.use(kBufA, Intent::kLdg).use(kBufA, Intent::kWrite);
+  spec.pushes_raw(kBufB, kTail, 100);
+  plan.add_launch("victim", &spec, false, 1, 128);
+  plan.add_launch("victim2", nullptr, false, 1, 128);
+  plan.barrier();
+  const check::Report first = check::check_plan(plan);
+  const check::Report second = check::check_plan(plan);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.format(), second.format());
+  EXPECT_EQ(first.to_json(), second.to_json());
+}
+
+// --- sanitizer cross-validation -------------------------------------------
+
+simt::DeviceConfig checked_config(std::uint32_t host_threads = 1) {
+  simt::DeviceConfig cfg = simt::DeviceConfig::k20c();
+  cfg.sanitize = true;
+  cfg.check = true;
+  cfg.host_threads = host_threads;
+  return cfg;
+}
+
+TEST(CheckCrossValidation, UndeclaredBufferAccessFires) {
+  simt::Device dev(checked_config());
+  auto declared = dev.alloc<std::uint32_t>(32, "declared");
+  auto hidden = dev.alloc<std::uint32_t>(32, "hidden");
+  declared.fill(1);
+  hidden.fill(1);
+  check::KernelSpec spec;
+  spec.reads(declared);  // says nothing about `hidden`
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "under_declared", spec,
+             [&](simt::Thread& t) {
+               t.ld(declared, t.thread_in_block());
+               t.st(hidden, t.thread_in_block(), 2u);  // outside the spec
+             });
+  const san::Report report = dev.san_report();
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, san::FindingKind::kUndeclaredAccess);
+  EXPECT_EQ(report.findings[0].buffer, "hidden");
+  EXPECT_EQ(report.findings[0].kernel, "under_declared");
+  EXPECT_EQ(report.findings[0].access, san::AccessKind::kStore);
+}
+
+TEST(CheckCrossValidation, CorrectSpecIsSilent) {
+  simt::Device dev(checked_config());
+  auto declared = dev.alloc<std::uint32_t>(32, "declared");
+  auto hidden = dev.alloc<std::uint32_t>(32, "hidden");
+  declared.fill(1);
+  hidden.fill(1);
+  check::KernelSpec spec;
+  spec.reads(declared).writes(hidden);
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "declared_fully", spec,
+             [&](simt::Thread& t) {
+               t.ld(declared, t.thread_in_block());
+               t.st(hidden, t.thread_in_block(), 2u);
+             });
+  EXPECT_TRUE(dev.san_report().clean()) << dev.san_report().format();
+  EXPECT_TRUE(dev.check_report().clean()) << dev.check_report().format();
+}
+
+TEST(CheckCrossValidation, RangeViolationFires) {
+  simt::Device dev(checked_config());
+  auto buf = dev.alloc<std::uint32_t>(32, "ranged");
+  buf.fill(1);
+  check::KernelSpec spec;
+  spec.reads(buf, 0, 8);  // first eight elements only
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "range_breaker", spec,
+             [&](simt::Thread& t) { t.ld(buf, 16); });
+  const san::Report report = dev.san_report();
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, san::FindingKind::kUndeclaredAccess);
+  EXPECT_EQ(report.findings[0].buffer, "ranged");
+}
+
+TEST(CheckCrossValidation, LdgRequiresTheLdgIntent) {
+  simt::Device dev(checked_config());
+  auto buf = dev.alloc<std::uint32_t>(32, "ro");
+  buf.fill(1);
+  check::KernelSpec spec;
+  spec.reads(buf);  // plain read intent: __ldg must be declared explicitly
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "ldg_sneak", spec,
+             [&](simt::Thread& t) { t.ldg(buf, t.thread_in_block()); });
+  const san::Report report = dev.san_report();
+  ASSERT_EQ(report.findings.size(), 1u) << report.format();
+  EXPECT_EQ(report.findings[0].kind, san::FindingKind::kUndeclaredAccess);
+  EXPECT_EQ(report.findings[0].access, san::AccessKind::kLdg);
+}
+
+TEST(CheckCrossValidation, UndeclaredWorklistPushFires) {
+  simt::Device dev(checked_config());
+  simt::Worklist in(dev, 32, "in");
+  simt::Worklist out(dev, 32, "out");
+  in.fill_iota(32);
+  check::KernelSpec spec;
+  spec.reads(in.items(), 0, 32);  // forgets pushes(out, ...)
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "push_sneak", spec,
+             [&](simt::Thread& t) {
+               const std::uint32_t v = t.ld(in.items(), t.thread_in_block());
+               t.scan_push(out, v);
+             });
+  const san::Report report = dev.san_report();
+  EXPECT_GE(report.findings.size(), 1u) << report.format();
+  EXPECT_GE(report.count(san::FindingKind::kUndeclaredAccess), 1u);
+}
+
+TEST(CheckCrossValidation, SpecScopeEndsWithTheLaunch) {
+  simt::Device dev(checked_config());
+  auto buf = dev.alloc<std::uint32_t>(32, "scoped");
+  buf.fill(1);
+  check::KernelSpec narrow;
+  narrow.reads(buf, 0, 1);
+  dev.launch({.grid_blocks = 1, .block_threads = 1}, "narrow", narrow,
+             [&](simt::Thread& t) { t.ld(buf, 0); });
+  // A later spec-less launch is NOT constrained by the previous spec (it is
+  // a kMissingSpec checker finding instead, not a sanitizer one).
+  dev.launch({.grid_blocks = 1, .block_threads = 32}, "legacy",
+             [&](simt::Thread& t) { t.ld(buf, t.thread_in_block()); });
+  EXPECT_TRUE(dev.san_report().clean()) << dev.san_report().format();
+  EXPECT_EQ(dev.check_report().count(check::RuleKind::kMissingSpec), 1u);
+}
+
+// --- spec/dynamic agreement across the schemes -----------------------------
+
+using coloring::Scheme;
+
+coloring::RunOptions agreement_options(std::uint32_t threads,
+                                       std::uint32_t devices = 1) {
+  coloring::RunOptions opts;
+  opts.device.sanitize = true;
+  opts.device.check = true;
+  opts.device.host_threads = threads;
+  opts.num_devices = devices;
+  return opts;
+}
+
+TEST(CheckAgreement, AllGpuSchemesCleanAndThreadInvariant) {
+  const graph::CsrGraph g = graph::make_suite_graph("rmat-er", 256);
+  const std::vector<Scheme> schemes = {
+      Scheme::kGm3Step,    Scheme::kTopoBase, Scheme::kTopoLdg,
+      Scheme::kDataBase,   Scheme::kDataLdg,  Scheme::kDataAtomic,
+      Scheme::kDataWarp,   Scheme::kCsrColor, Scheme::kDataLdf,
+      Scheme::kJpGpu,
+  };
+  for (const Scheme s : schemes) {
+    const coloring::RunResult t1 = coloring::run_scheme(s, g, agreement_options(1));
+    const coloring::RunResult t4 = coloring::run_scheme(s, g, agreement_options(4));
+    EXPECT_TRUE(t1.check.clean())
+        << coloring::scheme_name(s) << "\n" << t1.check.format();
+    EXPECT_TRUE(t1.san.clean())
+        << coloring::scheme_name(s) << "\n" << t1.san.format();
+    EXPECT_EQ(t1.check, t4.check) << coloring::scheme_name(s);
+    EXPECT_EQ(t1.san, t4.san) << coloring::scheme_name(s);
+    EXPECT_FALSE(t1.check.launches.empty()) << coloring::scheme_name(s);
+  }
+}
+
+TEST(CheckAgreement, Distance2CleanAndThreadInvariant) {
+  const graph::CsrGraph g = graph::make_suite_graph("thermal2", 512);
+  coloring::GpuOptions gpu;
+  gpu.device.sanitize = true;
+  gpu.device.check = true;
+  gpu.device.host_threads = 1;
+  const coloring::GpuResult t1 = coloring::topo_color_d2(g, gpu);
+  gpu.device.host_threads = 4;
+  const coloring::GpuResult t4 = coloring::topo_color_d2(g, gpu);
+  EXPECT_TRUE(t1.check.clean()) << t1.check.format();
+  EXPECT_TRUE(t1.san.clean()) << t1.san.format();
+  EXPECT_EQ(t1.check, t4.check);
+}
+
+TEST(CheckAgreement, MultiDeviceCleanAndThreadInvariant) {
+  const graph::CsrGraph g = graph::make_suite_graph("rmat-er", 256);
+  for (const std::uint32_t devices : {1u, 4u}) {
+    const coloring::RunResult t1 =
+        coloring::run_scheme(Scheme::kDataLdg, g, agreement_options(1, devices));
+    const coloring::RunResult t4 =
+        coloring::run_scheme(Scheme::kDataLdg, g, agreement_options(4, devices));
+    EXPECT_TRUE(t1.check.clean())
+        << "P=" << devices << "\n" << t1.check.format();
+    EXPECT_TRUE(t1.san.clean()) << "P=" << devices << "\n" << t1.san.format();
+    EXPECT_EQ(t1.check, t4.check) << "P=" << devices;
+    EXPECT_EQ(t1.san, t4.san) << "P=" << devices;
+    if (devices > 1) {
+      // The exchange windows made it into the plan, and every device's
+      // slice of the fleet view carries its own launches.
+      EXPECT_GT(t1.check.copies, 0u);
+      for (const auto& d : t1.devices) {
+        EXPECT_TRUE(d.check.clean())
+            << "device " << d.device << "\n" << d.check.format();
+      }
+    }
+  }
+}
+
+TEST(CheckAgreement, ReportsFormatDeterministically) {
+  const graph::CsrGraph g = graph::make_suite_graph("rmat-er", 512);
+  const coloring::RunResult a =
+      coloring::run_scheme(Scheme::kDataLdg, g, agreement_options(1));
+  const coloring::RunResult b =
+      coloring::run_scheme(Scheme::kDataLdg, g, agreement_options(4));
+  EXPECT_EQ(a.check.format_plan(), b.check.format_plan());
+  EXPECT_EQ(a.check.to_json(), b.check.to_json());
+}
+
+}  // namespace

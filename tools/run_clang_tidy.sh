@@ -4,16 +4,24 @@
 # configure exports (CMAKE_EXPORT_COMPILE_COMMANDS is on by default).
 #
 # Usage:
-#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#   tools/run_clang_tidy.sh [--strict] [build-dir] [-- extra clang-tidy args]
 #
+#   --strict    fail (exit 3) when clang-tidy is not installed — the CI
+#               lint job uses this so the gate cannot silently no-op
 #   build-dir   directory containing compile_commands.json (default: build)
 #
-# Exits 0 with a notice when clang-tidy is not installed, so the script can
-# sit in CI/pre-commit hooks without making clang a hard dependency of the
-# build image; exits 2 when the compilation database is missing.
+# Without --strict, exits 0 with a notice when clang-tidy is not installed,
+# so the script can sit in pre-commit hooks without making clang a hard
+# dependency of the build image; exits 2 when the compilation database is
+# missing, 1 when any file produced diagnostics.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+strict=0
+if [ "${1:-}" = "--strict" ]; then
+  strict=1
+  shift
+fi
 build_dir="${1:-build}"
 case "$build_dir" in
   /*) ;;
@@ -24,6 +32,11 @@ if [ "${1:-}" = "--" ]; then shift; fi
 
 tidy="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$tidy" >/dev/null 2>&1; then
+  if [ "$strict" = 1 ]; then
+    echo "run_clang_tidy: '$tidy' not found and --strict was given." >&2
+    echo "run_clang_tidy: install clang-tidy or set CLANG_TIDY." >&2
+    exit 3
+  fi
   echo "run_clang_tidy: '$tidy' not found; skipping static analysis." >&2
   echo "run_clang_tidy: install clang-tidy or set CLANG_TIDY to enable." >&2
   exit 0

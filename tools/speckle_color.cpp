@@ -6,7 +6,7 @@
 /// Usage:
 ///   speckle_color --graph=matrix.mtx [--scheme=D-ldg] [--block=128]
 ///                 [--out=colors.txt] [--balance] [--refine] [--distance2]
-///                 [--device-report] [--sanitize] [--seed=1] [--threads=N]
+///                 [--device-report] [--sanitize] [--check] [--seed=1] [--threads=N]
 ///                 [--devices=P] [--partitioner=contiguous|hash|bfs]
 ///                 [--graph-cache=DIR]
 ///
@@ -28,6 +28,14 @@
 /// (out-of-bounds, uninitialized reads, undeclared cross-block races, __ldg
 /// coherence, worklist misuse — see docs/simulator.md) and prints the
 /// findings; the exit code is 2 when any finding fired.
+///
+/// --check records every kernel launch into a speckle::check LaunchPlan and
+/// runs the static dataflow checker over it (hazards, __ldg of writable
+/// buffers, worklist aliasing, capacity overflow, in-flight exchange
+/// trespass — see docs/simulator.md §13). Findings print after a
+/// "--- check ---" marker; combined with --sanitize the sanitizer also
+/// flags any dynamic access outside the declared specs. The exit code is
+/// 2 when the checker (or the sanitizer) reports anything.
 ///
 /// --profile runs the scheme under the speckle::prof profiling layer and
 /// prints per-kernel hardware-counter-style metrics (cache hit rates, DRAM
@@ -72,6 +80,7 @@ int main(int argc, char** argv) {
   const bool distance2 = opts.get_bool("distance2", false);
   const bool device_report = opts.get_bool("device-report", false);
   const bool sanitize = opts.get_bool("sanitize", false);
+  const bool check = opts.get_bool("check", false);
   // Bare --profile stores "true": text report only. =json/=trace/=both also
   // write the machine-readable exports.
   const std::string profile_mode = opts.get_string("profile", "off");
@@ -85,7 +94,7 @@ int main(int argc, char** argv) {
   const std::string graph_cache =
       graph::resolve_graph_cache_dir(opts.get_string("graph-cache", ""));
   opts.validate({"graph", "suite", "denom", "scheme", "block", "out", "balance",
-                 "refine", "distance2", "device-report", "sanitize", "profile",
+                 "refine", "distance2", "device-report", "sanitize", "check", "profile",
                  "profile-out", "seed", "threads", "devices", "partitioner",
                  "graph-cache"});
   SPECKLE_CHECK(seed != 0,
@@ -121,6 +130,7 @@ int main(int argc, char** argv) {
   coloring::color_t num_colors = 0;
   san::Report san;
   prof::Report prof;
+  check::Report chk;
   simt::DeviceConfig dev_cfg = simt::DeviceConfig::k20c();
   if (distance2) {
     SPECKLE_CHECK(devices == 1, "--distance2 has no multi-device path");
@@ -129,6 +139,7 @@ int main(int argc, char** argv) {
     gpu.device.host_threads = threads;
     gpu.device.sanitize = sanitize;
     gpu.device.profile = profiling;
+    gpu.device.check = check;
     dev_cfg = gpu.device;
     const auto r = coloring::topo_color_d2(g, gpu);
     SPECKLE_CHECK(coloring::verify_coloring_d2(g, r.coloring).proper,
@@ -137,6 +148,7 @@ int main(int argc, char** argv) {
     num_colors = r.num_colors;
     san = r.san;
     prof = r.prof;
+    chk = r.check;
     std::cout << "distance-2 topo-gpu: " << num_colors << " colors in "
               << r.iterations << " iterations, " << r.model_ms << " ms simulated\n";
   } else {
@@ -148,6 +160,7 @@ int main(int argc, char** argv) {
     run.device.host_threads = threads;
     run.device.sanitize = sanitize;
     run.device.profile = profiling;
+    run.device.check = check;
     dev_cfg = run.device;
     const auto scheme = coloring::scheme_from_name(scheme_name);
     const auto r = coloring::run_scheme(scheme, g, run);
@@ -155,6 +168,7 @@ int main(int argc, char** argv) {
     num_colors = r.num_colors;
     san = r.san;
     prof = r.prof;
+    chk = r.check;
     std::cout << scheme_name << ": " << num_colors << " colors in " << r.iterations
               << " iterations, " << r.model_ms << " ms simulated, " << r.wall_ms
               << " ms host wall\n";
@@ -187,6 +201,11 @@ int main(int argc, char** argv) {
     }
   }
   if (sanitize) std::cout << san.format();
+  if (check) {
+    // Marker mirrors the profile section: sed-extractable, simulated
+    // quantities only, byte-identical at every --threads value.
+    std::cout << "--- check ---\n" << chk.format();
+  }
   if (profiling) {
     // The marker makes the section sed-extractable for golden diffing; the
     // section holds only simulated quantities (no wall clock), so it is
@@ -237,5 +256,13 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote " << out_path << "\n";
   }
-  return sanitize && !san.clean() ? 2 : 0;
+  const bool san_failed = sanitize && !san.clean();
+  const bool check_failed = check && !chk.clean();
+  if (san_failed || check_failed) {
+    std::cout << "FAIL: " << (san_failed ? san.findings.size() : 0)
+              << " sanitizer + " << (check_failed ? chk.findings.size() : 0)
+              << " checker finding(s) on " << scheme_name << "\n";
+    return 2;
+  }
+  return 0;
 }
