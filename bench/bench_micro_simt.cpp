@@ -177,6 +177,89 @@ void BM_CoalescerScattered(benchmark::State& state) {
 }
 BENCHMARK(BM_CoalescerScattered);
 
+// ---- wave-commit isolation (the epoch-overlay swap/merge path) -----------
+// Drive MemorySystem wave views directly — no event loop, no kernels — so
+// the commit path (reset_view epoch bump, COW page faults, and the
+// commit_wave swap-vs-merge decision) has its own A/B number. Three access
+// shapes: one SM streaming densely (every page single-owner, committed by
+// page copy), every SM touching a small disjoint slice (sparse, still
+// single-owner), and every SM hammering the same lines (every page
+// contended, committed by the SM-ordered recency merge).
+
+/// One wave over `mem`: SM `sm` loads `count` consecutive lines from `base`.
+void touch_lines(MemorySystem::WaveView& view, std::uint64_t base,
+                 std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    benchmark::DoNotOptimize(view.load(Space::kGlobal, base + i * 128));
+  }
+}
+
+void BM_WaveCommitDense(benchmark::State& state) {
+  const DeviceConfig dev = DeviceConfig::k20c().scaled(8);
+  MemorySystem mem(dev);
+  std::vector<MemorySystem::WaveView> views;
+  for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+    views.push_back(mem.wave_view(sm));
+  }
+  const std::uint64_t lines = 4096;  // sweeps every set many times over
+  std::uint64_t wave = 0;
+  for (auto _ : state) {
+    for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) mem.reset_view(views[sm], sm);
+    touch_lines(views[0], wave * lines * 128, lines);
+    mem.commit_wave(views);
+    ++wave;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines));
+}
+BENCHMARK(BM_WaveCommitDense);
+
+void BM_WaveCommitSparse(benchmark::State& state) {
+  const DeviceConfig dev = DeviceConfig::k20c().scaled(8);
+  MemorySystem mem(dev);
+  std::vector<MemorySystem::WaveView> views;
+  for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+    views.push_back(mem.wave_view(sm));
+  }
+  const std::uint64_t lines = 32;  // a few pages per SM, disjoint regions
+  std::uint64_t wave = 0;
+  for (auto _ : state) {
+    for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+      mem.reset_view(views[sm], sm);
+      touch_lines(views[sm], (wave * dev.num_sms + sm) * (1 << 24), lines);
+    }
+    mem.commit_wave(views);
+    ++wave;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines) * dev.num_sms);
+}
+BENCHMARK(BM_WaveCommitSparse);
+
+void BM_WaveCommitContended(benchmark::State& state) {
+  const DeviceConfig dev = DeviceConfig::k20c().scaled(8);
+  MemorySystem mem(dev);
+  std::vector<MemorySystem::WaveView> views;
+  for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+    views.push_back(mem.wave_view(sm));
+  }
+  const std::uint64_t lines = 4096;  // all SMs sweep the same range
+  std::uint64_t wave = 0;
+  for (auto _ : state) {
+    for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+      mem.reset_view(views[sm], sm);
+      // Per-SM offset keeps the streams unaligned, like real interleaving,
+      // while still colliding on every cache set.
+      touch_lines(views[sm], (wave * lines + sm * 7) * 128, lines);
+    }
+    mem.commit_wave(views);
+    ++wave;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines) * dev.num_sms);
+}
+BENCHMARK(BM_WaveCommitContended);
+
 /// Hit-dominated probe of a small cache (the steady-state L2 pattern):
 /// round-robin over half the sets so every access hits after warmup.
 void BM_CacheModelHit(benchmark::State& state) {

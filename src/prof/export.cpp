@@ -64,6 +64,11 @@ void format_counters(std::ostream& out, const LaunchProfile& lp,
   out << indent << "atomics=" << lp.atomic_ops << " barriers=" << lp.barriers
       << " blocks=" << lp.blocks << " (replayed " << lp.blocks_replayed
       << ") warps=" << lp.warps_launched << "\n";
+  out << indent << "commit: pages=" << lp.commit.pages_touched << " (merged "
+      << lp.commit.pages_merged << ") swap_bytes=" << lp.commit.bytes_swapped
+      << " merge_bytes=" << lp.commit.bytes_replayed
+      << " | overlay writes=" << lp.overlay_writes
+      << " bytes=" << lp.overlay_bytes << "\n";
   out << indent << "stalls:";
   for (std::size_t s = 0; s < kStallCount; ++s) {
     const double frac = lp.stalls.total > 0
@@ -143,6 +148,13 @@ void json_counters(std::ostream& out, const LaunchProfile& lp,
   out << indent << "\"l2_misses\": " << lp.l2_misses << ",\n";
   out << indent << "\"dram_transactions\": " << lp.dram_transactions() << ",\n";
   out << indent << "\"dram_bytes\": " << lp.dram_bytes << ",\n";
+  out << indent << "\"commit\": {\"waves\": " << lp.commit.waves
+      << ", \"pages_touched\": " << lp.commit.pages_touched
+      << ", \"pages_merged\": " << lp.commit.pages_merged
+      << ", \"bytes_swapped\": " << lp.commit.bytes_swapped
+      << ", \"bytes_replayed\": " << lp.commit.bytes_replayed
+      << ", \"overlay_writes\": " << lp.overlay_writes
+      << ", \"overlay_bytes\": " << lp.overlay_bytes << "},\n";
   out << indent << "\"stalls\": {";
   for (std::size_t s = 0; s < kStallCount; ++s) {
     if (s > 0) out << ", ";

@@ -33,6 +33,13 @@ void add_counters(LaunchProfile& a, const LaunchProfile& b) {
   a.l2_misses += b.l2_misses;
   a.dram_bytes += b.dram_bytes;
   a.stalls += b.stalls;
+  a.commit.waves += b.commit.waves;
+  a.commit.pages_touched += b.commit.pages_touched;
+  a.commit.pages_merged += b.commit.pages_merged;
+  a.commit.bytes_swapped += b.commit.bytes_swapped;
+  a.commit.bytes_replayed += b.commit.bytes_replayed;
+  a.overlay_writes += b.overlay_writes;
+  a.overlay_bytes += b.overlay_bytes;
   for (std::size_t i = 0; i < LaunchProfile::kIssueBins; ++i) {
     a.issue_hist[i] += b.issue_hist[i];
   }
@@ -267,6 +274,14 @@ void Profiler::on_wave(const simt::WaveProfile& wave) {
     bin = std::min(bin, LaunchProfile::kIssueBins - 1);
     ++lp.issue_hist[bin];
   }
+}
+
+void Profiler::on_commit(const simt::WaveCommitStats& delta,
+                         std::uint64_t overlay_writes, std::uint64_t overlay_bytes) {
+  if (current_ == nullptr) return;
+  current_->commit = delta;
+  current_->overlay_writes = overlay_writes;
+  current_->overlay_bytes = overlay_bytes;
 }
 
 void Profiler::end_launch(const simt::KernelStats& stats) {

@@ -108,6 +108,14 @@ struct LaunchProfile {
   std::uint64_t barriers = 0;     ///< block-barrier warp instructions
   std::vector<BufferCounters> buffers;  ///< first-touch order
 
+  // --- commit side (single-touch wave commit, see docs/simulator.md §10) --
+  /// L2 overlay-page counters for this launch's waves: pages adopted by a
+  /// single-owner swap vs rebuilt by the SM-ordered merge. Regressions in
+  /// the commit path show up here before they show up in wall clock.
+  simt::WaveCommitStats commit;
+  std::uint64_t overlay_writes = 0;  ///< speculative writes committed (once each)
+  std::uint64_t overlay_bytes = 0;   ///< bytes those writes landed
+
   // --- timing side (per-SM partials, SM order) ----------------------------
   std::uint64_t issued_insts = 0;  ///< warp insts the scheduler issued
   std::uint64_t ro_hits = 0;
@@ -244,6 +252,12 @@ class Profiler {
   /// Record one wave's timing profile (per-SM finish/busy/insts), in wave
   /// order.
   void on_wave(const simt::WaveProfile& wave);
+
+  /// Record the launch's wave-commit share: the MemorySystem counter delta
+  /// across the launch plus the functional overlay writes its commit slots
+  /// landed. Called once, on the serial path, just before end_launch.
+  void on_commit(const simt::WaveCommitStats& delta, std::uint64_t overlay_writes,
+                 std::uint64_t overlay_bytes);
 
   /// Close the launch with its final timing stats.
   void end_launch(const simt::KernelStats& stats);

@@ -16,29 +16,30 @@ std::uint32_t log2_u32(std::uint64_t x) {
 }  // namespace
 
 CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t line_bytes,
-                       std::uint32_t ways)
-    : line_bytes_(line_bytes), ways_(ways) {
+                       std::uint32_t ways) {
   SPECKLE_CHECK(line_bytes > 0 && ways > 0, "cache geometry must be positive");
   SPECKLE_CHECK(size_bytes % (static_cast<std::uint64_t>(line_bytes) * ways) == 0,
                 "cache size must be divisible by line*ways");
   SPECKLE_CHECK(ways <= 255, "8-bit recency supports at most 255 ways");
-  num_sets_ = static_cast<std::uint32_t>(size_bytes / line_bytes / ways);
-  SPECKLE_CHECK(num_sets_ > 0, "cache must have at least one set");
-  line_pow2_ = is_pow2(line_bytes_);
-  if (line_pow2_) line_shift_ = log2_u32(line_bytes_);
-  sets_pow2_ = is_pow2(num_sets_);
-  if (sets_pow2_) {
-    set_mask_ = num_sets_ - 1;
-    set_shift_ = log2_u32(num_sets_);
+  geo_.line_bytes = line_bytes;
+  geo_.ways = ways;
+  geo_.num_sets = static_cast<std::uint32_t>(size_bytes / line_bytes / ways);
+  SPECKLE_CHECK(geo_.num_sets > 0, "cache must have at least one set");
+  geo_.line_pow2 = is_pow2(line_bytes);
+  if (geo_.line_pow2) geo_.line_shift = log2_u32(line_bytes);
+  geo_.sets_pow2 = is_pow2(geo_.num_sets);
+  if (geo_.sets_pow2) {
+    geo_.set_mask = geo_.num_sets - 1;
+    geo_.set_shift = log2_u32(geo_.num_sets);
   } else {
     // floor(2^64/d)+1 for d not a power of two (so d never divides 2^64 and
     // ~0ULL/d == floor(2^64/d)). floor(id*magic/2^64) == id/d exactly while
     // id < 2^64/d: the error term id*(2^64 mod d + 1)/(d*2^64) stays below
     // the 1/d gap to the next integer quotient.
-    magic_ = ~0ULL / num_sets_ + 1;
-    magic_safe_ = ~0ULL / num_sets_;
+    geo_.magic = ~0ULL / geo_.num_sets + 1;
+    geo_.magic_safe = ~0ULL / geo_.num_sets;
   }
-  tags_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+  tags_.resize(static_cast<std::size_t>(geo_.num_sets) * ways);
   invalidate_all();
 }
 

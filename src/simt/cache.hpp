@@ -26,6 +26,58 @@ namespace speckle::simt {
 
 class CacheModel {
  public:
+  /// No real device address maps to this tag (it would need a ~2^64 byte
+  /// address), so it doubles as the "invalid way" marker. Public because the
+  /// wave-commit merge must distinguish invalid filler ways (which keep
+  /// their multiplicity) from real tags (which dedup) when it reconstructs
+  /// a set from overlay pages.
+  static constexpr std::uint64_t kInvalidTag = ~0ULL;
+
+  /// The address-decomposition parameters, separable from the tag storage so
+  /// the per-SM L2 page overlay can hold them BY VALUE: locate() runs once
+  /// per coalesced transaction in the wave loops, and re-reading every
+  /// geometry field through a CacheModel pointer on each call is a measurable
+  /// chain of dependent loads on that path.
+  struct Geometry {
+    std::uint32_t line_bytes = 0;
+    std::uint32_t line_shift = 0;  ///< log2(line_bytes) when pow2
+    std::uint32_t ways = 0;
+    std::uint32_t num_sets = 0;
+    std::uint32_t set_mask = 0;   ///< num_sets-1 when pow2
+    std::uint32_t set_shift = 0;  ///< log2(num_sets) when pow2
+    std::uint64_t magic = 0;      ///< floor(2^64/num_sets)+1 when not pow2
+    std::uint64_t magic_safe = 0; ///< magic division exact below this line_id
+    bool line_pow2 = true;
+    bool sets_pow2 = true;
+
+    /// Decompose a line address into (set index, tag).
+    std::uint32_t locate(std::uint64_t line_addr, std::uint64_t& tag) const {
+      SPECKLE_CHECK(line_pow2 ? (line_addr & (line_bytes - 1)) == 0
+                              : line_addr % line_bytes == 0,
+                    "cache access must be line-aligned");
+      const std::uint64_t line_id =
+          line_pow2 ? line_addr >> line_shift : line_addr / line_bytes;
+      std::uint32_t set;
+      if (sets_pow2) {  // shift-mask indexing
+        set = static_cast<std::uint32_t>(line_id) & set_mask;
+        tag = line_id >> set_shift;
+      } else if (line_id < magic_safe) [[likely]] {
+        // Scaled configs shrink caches to non-pow2 set counts; divide by the
+        // precomputed reciprocal instead of issuing a hardware division.
+        // magic = floor(2^64/sets)+1, exact for line_id < 2^64/sets — which
+        // covers every address either address space can produce.
+        const std::uint64_t q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(line_id) * magic) >> 64);
+        set = static_cast<std::uint32_t>(line_id - q * num_sets);
+        tag = q;
+      } else {
+        set = static_cast<std::uint32_t>(line_id % num_sets);
+        tag = line_id / num_sets;
+      }
+      return set;
+    }
+  };
+
   /// `size_bytes` total capacity, `line_bytes` block size, `ways`
   /// associativity. size must be divisible by line*ways.
   CacheModel(std::uint64_t size_bytes, std::uint32_t line_bytes, std::uint32_t ways);
@@ -34,40 +86,39 @@ class CacheModel {
   /// Returns true on hit. Header-defined: the simulator calls this hundreds
   /// of millions of times per run, so it must inline into the wave loops.
   bool access(std::uint64_t line_addr) {
-    SPECKLE_CHECK(line_pow2_ ? (line_addr & (line_bytes_ - 1)) == 0
-                             : line_addr % line_bytes_ == 0,
-                  "cache access must be line-aligned");
     std::uint64_t tag = 0;
-    const std::size_t base = locate(line_addr, tag);
+    const std::uint32_t ways = geo_.ways;
+    const std::size_t base = std::size_t{geo_.locate(line_addr, tag)} * ways;
     std::uint64_t* tags = &tags_[base];
-    // Hits favour the front of the recency order, so the scan exits early
-    // for the common re-touch patterns. (A branchless full-set match mask
-    // was tried and measured slower: the early exit wins because most hits
-    // land in the first few ways.)
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (tags[w] == tag) {
+    // Fused scan + move-to-front: each way scanned slides down one slot as
+    // the scan passes it, so a hit at way w leaves positions [0, w] rotated
+    // exactly as a separate memmove would while later ways stay untouched,
+    // and falling off the end IS the miss fill — every way shifted down,
+    // tags[0] == tag, the old tail (LRU or invalid filler) evicted. Keeps
+    // the early exit (hits favour the front of the recency order; a
+    // branchless full-set match mask was tried and measured slower) and
+    // drops the per-access libc memmove call.
+    std::uint64_t prev = tag;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      const std::uint64_t cur = tags[w];
+      tags[w] = prev;
+      if (cur == tag) {
         ++hits_;
-        if (w != 0) {  // move to front: everything younger slides down
-          std::memmove(tags + 1, tags, w * sizeof(tags[0]));
-          tags[0] = tag;
-        }
         return true;
       }
+      prev = cur;
     }
     ++misses_;
-    // Fill replaces the tail — the LRU way, or an invalid way (invalid tags
-    // are never touched, so they accumulate at the tail).
-    std::memmove(tags + 1, tags, (ways_ - 1) * sizeof(tags[0]));
-    tags[0] = tag;
     return false;
   }
 
   /// Look up without filling (used by write-through stores).
   bool probe(std::uint64_t line_addr) const {
     std::uint64_t tag = 0;
-    const std::size_t base = locate(line_addr, tag);
+    const std::uint32_t ways = geo_.ways;
+    const std::size_t base = std::size_t{geo_.locate(line_addr, tag)} * ways;
     const std::uint64_t* tags = &tags_[base];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
+    for (std::uint32_t w = 0; w < ways; ++w) {
       if (tags[w] == tag) return true;
     }
     return false;
@@ -81,47 +132,26 @@ class CacheModel {
   std::uint64_t misses() const { return misses_; }
   void reset_counters() { hits_ = misses_ = 0; }
 
-  std::uint32_t num_sets() const { return num_sets_; }
+  std::uint32_t num_sets() const { return geo_.num_sets; }
+  std::uint32_t ways() const { return geo_.ways; }
 
- private:
-  /// No real device address maps to this tag (it would need a ~2^64 byte
-  /// address), so it doubles as the "invalid way" marker.
-  static constexpr std::uint64_t kInvalidTag = ~0ULL;
+  /// The address-decomposition parameters, copyable by value.
+  const Geometry& geometry() const { return geo_; }
 
-  /// Decompose a line address into (first-way index of its set, tag).
-  std::size_t locate(std::uint64_t line_addr, std::uint64_t& tag) const {
-    const std::uint64_t line_id =
-        line_pow2_ ? line_addr >> line_shift_ : line_addr / line_bytes_;
-    std::uint32_t set;
-    if (sets_pow2_) {  // shift-mask indexing
-      set = static_cast<std::uint32_t>(line_id) & set_mask_;
-      tag = line_id >> set_shift_;
-    } else if (line_id < magic_safe_) [[likely]] {
-      // Scaled configs shrink caches to non-pow2 set counts; divide by the
-      // precomputed reciprocal instead of issuing a hardware division.
-      // magic_ = floor(2^64/sets)+1, exact for line_id < 2^64/sets — which
-      // covers every address either address space can produce.
-      const std::uint64_t q = static_cast<std::uint64_t>(
-          (static_cast<unsigned __int128>(line_id) * magic_) >> 64);
-      set = static_cast<std::uint32_t>(line_id - q * num_sets_);
-      tag = q;
-    } else {
-      set = static_cast<std::uint32_t>(line_id % num_sets_);
-      tag = line_id / num_sets_;
-    }
-    return static_cast<std::size_t>(set) * ways_;
+  /// Decompose a line address into (set index, tag) the way this cache's
+  /// indexing does (including the non-pow2 magic-division path).
+  std::uint32_t locate(std::uint64_t line_addr, std::uint64_t& tag) const {
+    return geo_.locate(line_addr, tag);
   }
 
-  std::uint32_t line_bytes_;
-  std::uint32_t line_shift_ = 0;  ///< log2(line_bytes) when pow2
-  std::uint32_t ways_;
-  std::uint32_t num_sets_;
-  std::uint32_t set_mask_ = 0;   ///< num_sets-1 when pow2
-  std::uint32_t set_shift_ = 0;  ///< log2(num_sets) when pow2
-  std::uint64_t magic_ = 0;      ///< floor(2^64/num_sets)+1 when not pow2
-  std::uint64_t magic_safe_ = 0; ///< magic division exact below this line_id
-  bool line_pow2_ = true;
-  bool sets_pow2_ = true;
+  /// The flat tag array (num_sets * ways entries, each set MRU-first).
+  /// Exposed so wave-commit can reconstruct sets in place and the per-SM
+  /// overlay pages can copy-on-write from the frozen master image.
+  const std::uint64_t* tag_data() const { return tags_.data(); }
+  std::uint64_t* tag_data() { return tags_.data(); }
+
+ private:
+  Geometry geo_;
   std::vector<std::uint64_t> tags_;  ///< num_sets * ways, each set MRU-first
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

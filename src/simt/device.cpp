@@ -9,6 +9,7 @@
 #include "support/threadpool.hpp"
 
 namespace speckle::simt {
+
 namespace {
 
 std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) { return (a + b - 1) / b; }
@@ -282,8 +283,9 @@ void Device::execute_block(const LaunchConfig& cfg, const std::vector<Kernel>& p
   }
 
   if (result != nullptr) {
-    const auto writes = arena.overlay.writes();
-    result->writes.assign(writes.begin(), writes.end());
+    // Move (don't copy) the overlay's writes: they are staged exactly once
+    // between execution and the block's ordered commit slot.
+    arena.overlay.take(result->writes);
     result->observations.assign(bstate.observations.begin(),
                                 bstate.observations.end());
     result->pushes.assign(bstate.pushes.begin(), bstate.pushes.end());
@@ -321,7 +323,9 @@ bool Device::commit_block(const LaunchConfig& cfg, const std::vector<Kernel>& ph
     if (san_ != nullptr) san_->commit_block(result.san_log);
     for (const WriteOverlay::Write& write : result.writes) {
       std::memcpy(write.host, &write.raw, write.size);
+      overlay_bytes_ += write.size;
     }
+    overlay_writes_ += result.writes.size();
     for (const BlockState::DiscardAdd& add : result.discard_adds) {
       *add.host += add.delta;
     }
@@ -372,6 +376,13 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
   stats.name = name;
   stats.grid_blocks = cfg.grid_blocks;
   stats.block_threads = cfg.block_threads;
+
+  // Per-launch commit accounting: functional overlay writes land at the
+  // commit slots below; the L2-side page counters accumulate inside
+  // MemorySystem, so the launch's share is a before/after delta.
+  overlay_writes_ = 0;
+  overlay_bytes_ = 0;
+  const WaveCommitStats commit_start = memory_.commit_stats();
 
   double t = 0.0;
 
@@ -454,7 +465,11 @@ const KernelStats& Device::run_grid(const LaunchConfig& cfg, const std::string& 
 
   stats.cycles =
       static_cast<std::uint64_t>(t) + config_.us_to_cycles(config_.kernel_launch_us);
-  if (prof_ != nullptr) prof_->end_launch(stats);
+  if (prof_ != nullptr) {
+    prof_->on_commit(memory_.commit_stats() - commit_start, overlay_writes_,
+                     overlay_bytes_);
+    prof_->end_launch(stats);
+  }
   report_.total_cycles += stats.cycles;
   report_.kernels.push_back(std::move(stats));
   return report_.kernels.back();

@@ -200,6 +200,11 @@ class Device {
   std::unique_ptr<prof::Profiler> prof_;  ///< null unless config_.profile
   std::unique_ptr<check::LaunchPlan> plan_;  ///< null unless config_.check
   std::uint64_t next_addr_ = 0x1000;
+  /// Current launch's committed speculative writes (single-touch: each byte
+  /// is staged in one overlay and landed once at its commit slot). Fed to
+  /// the profiler next to the MemorySystem wave-commit delta.
+  std::uint64_t overlay_writes_ = 0;
+  std::uint64_t overlay_bytes_ = 0;
 
   // Parallel wave executor state (lazily built on the first launch).
   std::unique_ptr<support::ThreadPool> pool_;  ///< null when 1 host thread

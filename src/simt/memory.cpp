@@ -1,6 +1,7 @@
 #include "simt/memory.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/check.hpp"
 
@@ -46,7 +47,7 @@ MemorySystem::LoadResult MemorySystem::load(std::uint32_t sm, Space space,
 bool MemorySystem::store(std::uint64_t line_addr) { return !l2_.access(line_addr); }
 
 double MemorySystem::atomic(std::uint64_t word_addr, double now) {
-  double& ready = atomic_ready_[word_addr];
+  double& ready = atomic_ready_.upsert(word_addr);
   const double start = std::max(now, ready);
   ready = start + static_cast<double>(dev_.atomic_serialize);
   return start + static_cast<double>(dev_.atomic_latency);
@@ -57,54 +58,145 @@ MemorySystem::WaveView::WaveView(MemorySystem& parent, std::uint32_t sm)
       ro_(&parent.ro_caches_.at(sm)),
       ro_hit_latency_(parent.dev_.ro_hit_latency),
       l2_hit_latency_(parent.dev_.l2_hit_latency),
-      dram_latency_(parent.dev_.dram_latency),
-      l2_(parent.l2_) {}
+      dram_latency_(parent.dev_.dram_latency) {
+  l2_.attach(parent.l2_);
+}
 
 double MemorySystem::WaveView::atomic(std::uint64_t word_addr, double now) {
-  auto local = atomic_local_.find(word_addr);
-  double ready = 0.0;
-  if (local != atomic_local_.end()) {
-    ready = local->second;
-  } else {
+  bool inserted = false;
+  double& local = atomic_local_.upsert(word_addr, &inserted);
+  double ready = local;
+  if (inserted) {
+    // First touch of this word in the wave: seed from the master clock.
     // The master map is frozen while the wave runs, so this concurrent
     // lookup is race-free.
-    auto master = parent_->atomic_ready_.find(word_addr);
-    if (master != parent_->atomic_ready_.end()) ready = master->second;
+    const double* master = parent_->atomic_ready_.find(word_addr);
+    if (master != nullptr) ready = *master;
   }
   const double start = std::max(now, ready);
-  atomic_local_[word_addr] = start + static_cast<double>(parent_->dev_.atomic_serialize);
+  local = start + static_cast<double>(parent_->dev_.atomic_serialize);
   return start + static_cast<double>(parent_->dev_.atomic_latency);
 }
 
 void MemorySystem::reset_view(WaveView& view, std::uint32_t sm) {
+  if (view.parent_ != this) {
+    view.l2_.attach(l2_);  // re-bind the shadow pages to this master image
+  } else {
+    view.l2_.bump_epoch();  // pages re-snapshot master lazily, on first touch
+  }
   view.parent_ = this;
   view.ro_ = &ro_caches_.at(sm);
   view.ro_hit_latency_ = dev_.ro_hit_latency;
   view.l2_hit_latency_ = dev_.l2_hit_latency;
   view.dram_latency_ = dev_.dram_latency;
-  view.l2_ = l2_;  // vector copy-assign: reuses the tag/age storage
-  view.l2_log_.clear();
   view.atomic_local_.clear();
 }
 
+/// The commit's correctness rests on one property of LRU recency order:
+/// after any access sequence, a set holds the `ways` most-recently-used
+/// distinct lines (MRU first), followed by the start-state survivors in
+/// their original relative order. The reference semantics — replay every
+/// view's accesses into master in SM order — therefore produces, per set,
+///
+///   [distinct wave-touched lines, ordered by (last-touching SM desc,
+///    recency within that SM desc)] ++ [master survivors] , cut to `ways`.
+///
+/// Each view's overlay page already ends the wave as
+/// [its touched lines, MRU first][master survivors], with the split at
+/// touched_count (untouched lines only ever slide backwards, so every
+/// touched line sits ahead of them — and a touched line evicted from its
+/// own page can never appear in the merged result either, because the
+/// page's `ways` fresher lines precede it there too). So master-after-wave
+/// is reconstructed exactly, touching each tag once, by walking the views'
+/// touched prefixes in REVERSE SM order (later SMs replay later, so their
+/// touches are the most recent), deduplicating, and back-filling with
+/// master survivors. Pages only one SM touched skip all of that: the page
+/// IS the post-replay set, and commit adopts it with one copy.
 void MemorySystem::commit_wave(std::vector<WaveView>& views) {
-  bool first = true;
-  for (WaveView& view : views) {
-    if (first) {
-      // The master L2 is frozen while the wave runs, so the first view's
-      // private copy — master snapshot evolved by exactly the accesses its
-      // log records — already equals the state (tags and counters) that
-      // replaying its log would produce. Swap it in instead of replaying;
-      // the stale state left in the view is overwritten at the next
-      // reset_view, and the swap keeps both allocations alive for reuse.
-      std::swap(l2_, view.l2_);
-      first = false;
-    } else {
-      for (const std::uint64_t line : view.l2_log_) l2_.access(line);
+  const std::uint32_t ways = l2_.ways();
+  std::uint64_t* master = l2_.tag_data();
+  if (merge_.sets.size() != l2_.num_sets()) {
+    merge_.sets.assign(l2_.num_sets(), MergeSet{});
+    merge_.tags.resize(std::size_t{l2_.num_sets()} * ways);
+  }
+  ++merge_.epoch;
+  merge_.touched.clear();
+  const std::uint64_t epoch = merge_.epoch;
+
+  for (std::size_t v = views.size(); v-- > 0;) {
+    const L2PageOverlay& overlay = views[v].l2_;
+    for (const std::uint32_t set : overlay.touched_sets()) {
+      MergeSet& ms = merge_.sets[set];
+      if (ms.epoch != epoch) {
+        ms.epoch = epoch;
+        ms.count = 0;
+        ms.owner = static_cast<std::uint32_t>(v);
+        ms.contended = false;
+        merge_.touched.push_back(set);
+      } else {
+        ms.contended = true;
+        if (ms.count == ways) continue;  // already rebuilt from fresher SMs
+      }
+      std::uint64_t* staged = &merge_.tags[std::size_t{set} * ways];
+      const std::uint64_t* page = overlay.page(set);
+      const std::uint32_t touched = overlay.touched_count(set);
+      for (std::uint32_t i = 0; i < touched && ms.count < ways; ++i) {
+        const std::uint64_t tag = page[i];
+        bool dup = false;
+        for (std::uint32_t j = 0; j < ms.count; ++j) {
+          if (staged[j] == tag) {
+            dup = true;  // a later SM touched it more recently
+            break;
+          }
+        }
+        if (!dup) staged[ms.count++] = tag;
+      }
     }
-    for (const auto& [word, ready] : view.atomic_local_) {
-      double& master = atomic_ready_[word];
-      master = std::max(master, ready);
+  }
+
+  for (const std::uint32_t set : merge_.touched) {
+    const MergeSet& ms = merge_.sets[set];
+    std::uint64_t* mset = master + std::size_t{set} * ways;
+    if (!ms.contended) {
+      // Single owner: its page tail is exactly the surviving master lines.
+      std::memcpy(mset, views[ms.owner].l2_.page(set), ways * sizeof(mset[0]));
+      commit_stats_.bytes_swapped += ways * sizeof(mset[0]);
+      continue;
+    }
+    // Contended: back-fill the merged wave prefix with master survivors.
+    // Valid tags dedup against the prefix; invalid filler ways keep their
+    // multiplicity (each is a distinct evictable entry, never a real tag).
+    std::uint64_t* staged = &merge_.tags[std::size_t{set} * ways];
+    std::uint32_t n = ms.count;
+    for (std::uint32_t w = 0; w < ways && n < ways; ++w) {
+      const std::uint64_t tag = mset[w];
+      if (tag != CacheModel::kInvalidTag) {
+        bool dup = false;
+        for (std::uint32_t j = 0; j < ms.count; ++j) {
+          if (staged[j] == tag) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+      }
+      staged[n++] = tag;
+    }
+    SPECKLE_CHECK(n == ways, "merged set must fill from prefix + survivors");
+    std::memcpy(mset, staged, ways * sizeof(mset[0]));
+    commit_stats_.bytes_replayed += ways * sizeof(mset[0]);
+    ++commit_stats_.pages_merged;
+  }
+  commit_stats_.pages_touched += merge_.touched.size();
+  ++commit_stats_.waves;
+
+  // Atomic-unit clocks: per-key max over the views' wave-local maps. Max is
+  // commutative and associative, so SM order is not needed for determinism,
+  // but we keep it anyway — it is the reference replay order.
+  for (WaveView& view : views) {
+    for (const AtomicClocks::Entry& e : view.atomic_local_.entries()) {
+      double& ready = atomic_ready_.upsert(e.addr);
+      ready = std::max(ready, e.ready);
     }
   }
 }

@@ -8,14 +8,36 @@
 /// Data movement itself is functional (buffers live in host memory).
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "simt/cache.hpp"
 #include "simt/config.hpp"
+#include "simt/overlay.hpp"
 #include "simt/trace.hpp"
 
 namespace speckle::simt {
+
+/// Wave-commit counters (cumulative per MemorySystem). A "page" is one L2
+/// set's tag block in a per-SM overlay. Pages a single SM touched commit by
+/// copying that SM's page over master (`bytes_swapped`); pages several SMs
+/// touched are rebuilt by the SM-ordered recency merge (`bytes_replayed` —
+/// the only bytes the commit still has to reconcile rather than adopt).
+/// Everything is derived from deterministic per-SM state in SM order, so the
+/// counters are bit-identical at every host thread count.
+struct WaveCommitStats {
+  std::uint64_t waves = 0;           ///< commit_wave calls
+  std::uint64_t pages_touched = 0;   ///< sets reconstructed, summed over waves
+  std::uint64_t pages_merged = 0;    ///< of those, sets >=2 SMs touched
+  std::uint64_t bytes_swapped = 0;   ///< tag bytes adopted from a single owner
+  std::uint64_t bytes_replayed = 0;  ///< tag bytes rebuilt by the merge
+
+  WaveCommitStats operator-(const WaveCommitStats& b) const {
+    return {waves - b.waves, pages_touched - b.pages_touched,
+            pages_merged - b.pages_merged, bytes_swapped - b.bytes_swapped,
+            bytes_replayed - b.bytes_replayed};
+  }
+  bool operator==(const WaveCommitStats&) const = default;
+};
 
 class MemorySystem {
  public:
@@ -46,19 +68,21 @@ class MemorySystem {
   double atomic(std::uint64_t word_addr, double now);
 
   /// An SM's private view of the shared memory system for one wave, so the
-  /// per-SM timing loops can run concurrently: the L2 tags and atomic-unit
-  /// clocks are snapshotted at wave start, the SM's read-only cache is
-  /// touched directly (it is exclusively its own), and every shared-state
-  /// effect is logged. commit_wave() replays the logs into the master state
-  /// in SM order, which keeps the model deterministic for any host thread
-  /// count. Cross-SM L2 sharing and atomic serialization are therefore
-  /// resolved at wave granularity (see docs/simulator.md §7).
+  /// per-SM timing loops can run concurrently: L2 state is shadowed by
+  /// epoch-stamped copy-on-write pages over the frozen master tags, the
+  /// SM's read-only cache is touched directly (it is exclusively its own),
+  /// and atomic clocks go to a wave-local map. commit_wave() folds the
+  /// views back in SM order — single-owner pages land by copy, contended
+  /// pages by an SM-ordered recency merge — which keeps the model
+  /// deterministic for any host thread count. Cross-SM L2 sharing and
+  /// atomic serialization are therefore resolved at wave granularity (see
+  /// docs/simulator.md §7 and §10).
   class WaveView {
    public:
     /// Header-defined: load/store sit on the timing loop's innermost path
     /// (one call per coalesced transaction), so they must inline together
-    /// with CacheModel::access instead of paying a cross-TU call each. The
-    /// latencies and the SM's read-only cache are cached in the view at
+    /// with L2PageOverlay::access instead of paying a cross-TU call each.
+    /// The latencies and the SM's read-only cache are cached in the view at
     /// construction/reset so the fast path never chases parent_->dev_.
     LoadResult load(Space space, std::uint64_t line_addr) {
       LoadResult result;
@@ -70,7 +94,6 @@ class MemorySystem {
           return result;
         }
       }
-      l2_log_.push_back(line_addr);
       if (l2_.access(line_addr)) {
         result.l2_hit = true;
         result.latency = l2_hit_latency_;
@@ -83,10 +106,7 @@ class MemorySystem {
       return result;
     }
 
-    bool store(std::uint64_t line_addr) {
-      l2_log_.push_back(line_addr);
-      return !l2_.access(line_addr);
-    }
+    bool store(std::uint64_t line_addr) { return !l2_.access(line_addr); }
 
     double atomic(std::uint64_t word_addr, double now);
 
@@ -99,29 +119,49 @@ class MemorySystem {
     std::uint64_t ro_hit_latency_;
     std::uint64_t l2_hit_latency_;
     std::uint64_t dram_latency_;
-    CacheModel l2_;  ///< copy of the shared L2 at wave start
-    std::unordered_map<std::uint64_t, double> atomic_local_;
-    std::vector<std::uint64_t> l2_log_;  ///< L2 probes in access order
+    L2PageOverlay l2_;           ///< COW pages over the frozen master tags
+    AtomicClocks atomic_local_;  ///< wave-local atomic-unit clocks
   };
 
   WaveView wave_view(std::uint32_t sm) { return WaveView(*this, sm); }
 
-  /// Re-arm an existing view for a new wave: re-snapshot the L2 into its
-  /// storage and drop the logs. Equivalent to `view = wave_view(sm)` but
-  /// reuses the view's buffers, so steady-state waves allocate nothing.
+  /// Re-arm an existing view for a new wave: an epoch bump that stales all
+  /// of its overlay pages at once. Equivalent to `view = wave_view(sm)` but
+  /// copies nothing — pages re-snapshot lazily on first touch.
   void reset_view(WaveView& view, std::uint32_t sm);
 
   /// Fold the per-SM views back into the shared state, in SM order.
   void commit_wave(std::vector<WaveView>& views);
 
+  /// Cumulative wave-commit counters (see WaveCommitStats).
+  const WaveCommitStats& commit_stats() const { return commit_stats_; }
+
   const CacheModel& l2() const { return l2_; }
   const CacheModel& ro_cache(std::uint32_t sm) const { return ro_caches_[sm]; }
 
  private:
+  /// Per-set merge scratch for commit_wave, epoch-stamped so a wave only
+  /// pays for the sets it touched. Lives here (not on the stack) to keep
+  /// its allocations across waves.
+  struct MergeSet {
+    std::uint64_t epoch = 0;   ///< valid only when == MergeScratch::epoch
+    std::uint32_t count = 0;   ///< merged wave-touched tags so far
+    std::uint32_t owner = 0;   ///< first contributing SM (highest SM index)
+    bool contended = false;    ///< a second SM touched the page
+  };
+  struct MergeScratch {
+    std::uint64_t epoch = 0;
+    std::vector<MergeSet> sets;          ///< one per L2 set
+    std::vector<std::uint64_t> tags;     ///< num_sets * ways merge staging
+    std::vector<std::uint32_t> touched;  ///< sets any view touched this wave
+  };
+
   const DeviceConfig& dev_;
   CacheModel l2_;
   std::vector<CacheModel> ro_caches_;  ///< one per SM
-  std::unordered_map<std::uint64_t, double> atomic_ready_;  ///< per-word clock
+  AtomicClocks atomic_ready_;          ///< per-word atomic-unit clock
+  MergeScratch merge_;
+  WaveCommitStats commit_stats_;
 };
 
 }  // namespace speckle::simt

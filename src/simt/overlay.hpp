@@ -1,6 +1,10 @@
 #pragma once
 /// \file overlay.hpp
-/// Per-block speculative write buffer for the parallel wave executor.
+/// Epoch-versioned overlays for the parallel wave executor: the per-block
+/// speculative write buffer (WriteOverlay), the per-SM copy-on-write L2 tag
+/// pages (L2PageOverlay) and the flat atomic-unit clock map (AtomicClocks).
+/// All three share one idiom — slot/page validity is an epoch stamp, so
+/// "clear" is a counter bump and steady-state waves never touch the heap.
 ///
 /// While the blocks of a scheduling chunk execute concurrently, global stores do not
 /// touch the shared buffers: each block records its writes here, keyed by
@@ -19,6 +23,8 @@
 #include <cstring>
 #include <span>
 #include <vector>
+
+#include "simt/cache.hpp"
 
 namespace speckle::simt {
 
@@ -72,6 +78,15 @@ class WriteOverlay {
   /// The block's writes in first-write order (one entry per address).
   std::span<const Write> writes() const { return writes_; }
 
+  /// Move the writes out (swapping storage with `out`, so neither side
+  /// copies entries) and leave the overlay cleared. The commit path holds a
+  /// block's writes from execution to its ordered commit slot; taking them
+  /// instead of copying means each committed byte is staged exactly once.
+  void take(std::vector<Write>& out) {
+    out.swap(writes_);
+    clear();
+  }
+
   bool empty() const { return writes_.empty(); }
 
   /// Forget everything but keep the allocations (per-block reuse).
@@ -115,6 +130,206 @@ class WriteOverlay {
   std::size_t mask_ = 0;
   std::uint64_t write_lo_ = ~std::uint64_t{0};  ///< written-address envelope
   std::uint64_t write_hi_ = 0;
+};
+
+/// Per-SM copy-on-write shadow of the shared L2 tag array for one wave.
+///
+/// Each cache set is one "page" of `ways` tags stamped with the epoch of the
+/// wave that last touched it. The first access a wave makes to a set copies
+/// the page from the frozen master image and evolves it with the same
+/// MRU-first move-to-front LRU as CacheModel::access, so the view's hit/miss
+/// answers are bit-identical to running against a private master copy —
+/// without ever cloning the whole cache. reset for a new wave is an epoch
+/// bump (every page goes stale at once, O(1)).
+///
+/// The page doubles as the commit-side record. Because every wave-touched
+/// line is moved to the front on touch and untouched master lines only ever
+/// slide backwards, a page is always
+///
+///     [wave-touched lines, MRU first][surviving master lines, in order]
+///
+/// with the split at `touched_count(set)`. MemorySystem::commit_wave
+/// reconstructs the master state for the whole wave from these prefixes
+/// alone (see memory.cpp) — which is why the view keeps no access log.
+class L2PageOverlay {
+ public:
+  /// Bind to (or re-bind after) a master cache, sizing the shadow pages. The
+  /// geometry is copied BY VALUE and the master tag image kept as a raw
+  /// pointer: access() runs once per coalesced transaction, and chasing the
+  /// CacheModel pointer for geometry fields on every call measurably slows
+  /// the wave loops (the master's tag vector never reallocates, so the
+  /// pointer stays valid across commits).
+  void attach(const CacheModel& master) {
+    geo_ = master.geometry();
+    master_tags_ = master.tag_data();
+    const std::size_t total = std::size_t{geo_.num_sets} * geo_.ways;
+    if (tags_.size() != total) {
+      tags_.assign(total, CacheModel::kInvalidTag);
+      meta_.assign(geo_.num_sets, PageMeta{});
+    }
+    bump_epoch();
+  }
+
+  /// Invalidate every page for the next wave. The master image may have
+  /// changed arbitrarily since the last wave; pages re-copy on first touch.
+  void bump_epoch() {
+    ++epoch_;
+    touched_sets_.clear();
+  }
+
+  /// Probe `line_addr`, filling on miss — same LRU semantics and the same
+  /// hit/miss sequence as CacheModel::access against a wave-start snapshot.
+  /// Header-defined: one call per coalesced transaction in the timing loop.
+  bool access(std::uint64_t line_addr) {
+    std::uint64_t tag = 0;
+    const std::uint32_t ways = geo_.ways;
+    const std::uint32_t set = geo_.locate(line_addr, tag);
+    std::uint64_t* tags = &tags_[std::size_t{set} * ways];
+    PageMeta& meta = meta_[set];
+    if (meta.epoch != epoch_) [[unlikely]] {  // copy-on-first-touch this wave
+      meta.epoch = epoch_;
+      meta.touched = 0;
+      std::memcpy(tags, master_tags_ + std::size_t{set} * ways,
+                  ways * sizeof(tags[0]));
+      touched_sets_.push_back(set);
+    }
+    // Fused scan + move-to-front: each way scanned slides down one slot as
+    // the scan passes it, so a hit at way w leaves positions [0, w] rotated
+    // exactly as a separate memmove would — while positions past w stay
+    // untouched. Falling off the end IS the miss path: every way has shifted
+    // down, tags[0] == tag, and the old tail (the LRU or an invalid filler)
+    // fell out in `prev`. One pass, no per-access libc memmove call.
+    std::uint64_t prev = tag;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      const std::uint64_t cur = tags[w];
+      tags[w] = prev;
+      if (cur == tag) {
+        // A hit beyond the touched prefix promotes a surviving master line
+        // into the wave-touched prefix.
+        if (w >= meta.touched) ++meta.touched;
+        return true;
+      }
+      prev = cur;
+    }
+    if (meta.touched < ways) ++meta.touched;
+    return false;
+  }
+
+  /// Sets this wave touched, in first-touch order (commit iterates these).
+  std::span<const std::uint32_t> touched_sets() const { return touched_sets_; }
+  /// The set's shadow page (valid only for touched sets).
+  const std::uint64_t* page(std::uint32_t set) const {
+    return &tags_[std::size_t{set} * geo_.ways];
+  }
+  /// Length of the wave-touched MRU prefix of `page(set)`.
+  std::uint32_t touched_count(std::uint32_t set) const {
+    return meta_[set].touched;
+  }
+
+ private:
+  /// Per-set validity stamp + touched-prefix length, packed so the hot path
+  /// reads both with one indexed address computation.
+  struct PageMeta {
+    std::uint64_t epoch = 0;    ///< page valid only when == current epoch
+    std::uint32_t touched = 0;  ///< length of the wave-touched MRU prefix
+    std::uint32_t pad_ = 0;
+  };
+
+  CacheModel::Geometry geo_;                    ///< by value: no master chase
+  const std::uint64_t* master_tags_ = nullptr;  ///< frozen master tag image
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> tags_;          ///< num_sets * ways shadow image
+  std::vector<PageMeta> meta_;               ///< per-set stamp + prefix length
+  std::vector<std::uint32_t> touched_sets_;  ///< this wave's pages
+};
+
+/// Flat per-word atomic-unit clocks (addr -> ready cycle): an open-addressed
+/// hash over a dense entry vector with epoch-versioned slots, same layout as
+/// WriteOverlay. Replaces std::unordered_map on the atomic hot path — both
+/// for the master clocks and for each WaveView's wave-local shadow — and
+/// gives commit a dense, insertion-ordered entry list to merge (the merge
+/// applies a per-key max, so any fold order yields the same master state).
+class AtomicClocks {
+ public:
+  struct Entry {
+    std::uint64_t addr = 0;
+    double ready = 0.0;
+  };
+
+  /// The clock for `addr`, or nullptr if never touched this epoch.
+  const double* find(std::uint64_t addr) const {
+    if (slots_.empty()) return nullptr;
+    const std::uint64_t key = addr + 1;  // 0 marks an empty slot; addr 0 is legal
+    std::size_t slot = hash(key) & mask_;
+    for (;;) {
+      const Slot& s = slots_[slot];
+      if (s.epoch != epoch_ || s.key == 0) return nullptr;
+      if (s.key == key) return &entries_[s.index].ready;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// The clock for `addr`, inserting 0.0 if absent. `inserted` (optional)
+  /// reports whether this call created the entry — the wave-local shadow
+  /// uses it to fall back to the master clocks exactly once per word.
+  double& upsert(std::uint64_t addr, bool* inserted = nullptr) {
+    const std::uint64_t key = addr + 1;
+    if (slots_.empty() || (entries_.size() + 1) * 2 > slots_.size()) grow();
+    std::size_t slot = hash(key) & mask_;
+    for (;;) {
+      Slot& s = slots_[slot];
+      if (s.epoch != epoch_ || s.key == 0) {
+        s = {key, static_cast<std::uint32_t>(entries_.size()), epoch_};
+        entries_.push_back({addr, 0.0});
+        if (inserted != nullptr) *inserted = true;
+        return entries_.back().ready;
+      }
+      if (s.key == key) {
+        if (inserted != nullptr) *inserted = false;
+        return entries_[s.index].ready;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Touched words in first-touch order.
+  std::span<const Entry> entries() const { return entries_; }
+
+  void clear() {
+    entries_.clear();
+    ++epoch_;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t index = 0;
+    std::uint64_t epoch = 0;  ///< valid only when == current epoch
+  };
+
+  static std::size_t hash(std::uint64_t key) {
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 32);
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 256 : slots_.size() * 2;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    ++epoch_;
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      const std::uint64_t key = entries_[i].addr + 1;
+      std::size_t slot = hash(key) & mask_;
+      while (slots_[slot].epoch == epoch_ && slots_[slot].key != 0) {
+        slot = (slot + 1) & mask_;
+      }
+      slots_[slot] = {key, i, epoch_};
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 1;
+  std::size_t mask_ = 0;
 };
 
 }  // namespace speckle::simt

@@ -1,12 +1,14 @@
 #include "simt/timing.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
 #include "support/check.hpp"
 #include "support/threadpool.hpp"
 
 namespace speckle::simt {
+
 namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
@@ -83,6 +85,20 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
   double busy = 0.0;
   std::size_t remaining = warps.size();
 
+  // Count into locals and fold into `stats` once on exit: the compiler
+  // cannot prove the stats reference doesn't alias the view's internals, so
+  // counting straight into the fields would re-load and re-store each one
+  // per instruction. The fold is exact for the stall sums too — each
+  // partial's field starts the wave at 0.0, and 0.0 + x == x bit-for-bit
+  // for the non-negative cycle sums.
+  std::uint64_t warp_insts = 0;
+  std::uint64_t gld_transactions = 0, gst_transactions = 0;
+  std::uint64_t ro_hits = 0, ro_misses = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+  std::uint64_t dram_bytes = 0, atomics = 0;
+  std::uint64_t dram_transactions = 0;
+  std::array<double, static_cast<std::size_t>(Stall::kCount)> stall_cycles{};
+
   auto drain_completed_mshrs = [&](double now) {
     while (!outstanding.empty() && outstanding.front() <= now) mshr_pop();
   };
@@ -109,7 +125,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
 
    issue_from_same_warp:
     if (w.ready > clock) {
-      stats.stalls.add(w.reason, w.ready - clock);
+      stall_cycles[static_cast<std::size_t>(w.reason)] += w.ready - clock;
       clock = w.ready;
     }
     drain_completed_mshrs(clock);
@@ -118,15 +134,16 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
     const std::size_t cur = w.cursor;
     ++w.cursor;
 
-    // Switch on the 1-byte kind stream first; each case reads only the
-    // fields it consumes (compute/sync never touch the address pool).
-    switch (wt.kind(cur)) {
+    // One load of the packed meta word; each case decodes only the fields
+    // it consumes (compute/sync never touch the address pool).
+    const std::uint64_t m = wt.meta(cur);
+    switch (WarpTrace::meta_kind(m)) {
       case OpKind::kCompute: {
-        const std::uint16_t inst_count = wt.inst_count(cur);
+        const std::uint16_t inst_count = WarpTrace::meta_inst_count(m);
         const double issue_time = inst_count * issue_cost;
         busy += issue_time;
         clock += issue_time;
-        stats.warp_insts += inst_count;
+        warp_insts += inst_count;
         w.ready = clock + compute_latency;
         w.reason = Stall::kExecutionDependency;
         break;
@@ -134,7 +151,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
       case OpKind::kSharedAccess: {
         busy += issue_cost;
         clock += issue_cost;
-        ++stats.warp_insts;
+        ++warp_insts;
         w.ready = clock + shared_latency;
         w.reason = Stall::kExecutionDependency;
         break;
@@ -142,11 +159,11 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
       case OpKind::kLoad: {
         busy += issue_cost;
         clock += issue_cost;
-        ++stats.warp_insts;
-        const Space space = wt.space(cur);
+        ++warp_insts;
+        const Space space = WarpTrace::meta_space(m);
         double max_done = clock;
         double transaction_issue = clock;
-        for (std::uint64_t line : wt.addr_span(cur)) {
+        for (std::uint64_t line : wt.addr_span_at(m, cur)) {
           // Each extra transaction of one warp instruction replays through
           // the LSU one cycle later.
           transaction_issue += 1.0;
@@ -162,15 +179,15 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
             }
           }
           const MemorySystem::LoadResult r = view.load(space, line);
-          ++stats.gld_transactions;
+          ++gld_transactions;
           if (space == Space::kReadOnly) {
-            r.ro_hit ? ++stats.ro_hits : ++stats.ro_misses;
+            r.ro_hit ? ++ro_hits : ++ro_misses;
           }
-          if (r.l2_hit) ++stats.l2_hits;
+          if (r.l2_hit) ++l2_hits;
           if (r.dram) {
-            ++stats.l2_misses;
-            ++outcome.dram_transactions;
-            stats.dram_bytes += dram_sector_bytes;
+            ++l2_misses;
+            ++dram_transactions;
+            dram_bytes += dram_sector_bytes;
             mshr_push(transaction_issue + r.latency);
           }
           max_done = std::max(max_done, transaction_issue + r.latency);
@@ -186,12 +203,12 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
       case OpKind::kStore: {
         busy += issue_cost;
         clock += issue_cost;
-        ++stats.warp_insts;
-        for (std::uint64_t line : wt.addr_span(cur)) {
-          ++stats.gst_transactions;
+        ++warp_insts;
+        for (std::uint64_t line : wt.addr_span_at(m, cur)) {
+          ++gst_transactions;
           if (view.store(line)) {
-            ++outcome.dram_transactions;
-            stats.dram_bytes += dram_sector_bytes;
+            ++dram_transactions;
+            dram_bytes += dram_sector_bytes;
           }
         }
         // Stores are fire-and-forget: no dependency latency for the warp.
@@ -202,11 +219,11 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
       case OpKind::kAtomic: {
         busy += issue_cost;
         clock += issue_cost;
-        ++stats.warp_insts;
+        ++warp_insts;
         double done = clock;
-        for (std::uint64_t addr : wt.addr_span(cur)) {
+        for (std::uint64_t addr : wt.addr_span_at(m, cur)) {
           done = std::max(done, view.atomic(addr, clock));
-          ++stats.atomics;
+          ++atomics;
         }
         w.ready = done;
         w.reason = Stall::kAtomic;
@@ -215,7 +232,7 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
       case OpKind::kSync: {
         busy += issue_cost;
         clock += issue_cost;
-        ++stats.warp_insts;
+        ++warp_insts;
         BarrierRt& barrier = barriers[w.block_slot];
         ++barrier.arrived;
         barrier.max_arrival = std::max(barrier.max_arrival, clock);
@@ -256,7 +273,20 @@ TimingEngine::SmOutcome TimingEngine::run_sm(std::uint32_t sm,
     }
   }
 
+  stats.warp_insts += warp_insts;
+  stats.gld_transactions += gld_transactions;
+  stats.gst_transactions += gst_transactions;
+  stats.ro_hits += ro_hits;
+  stats.ro_misses += ro_misses;
+  stats.l2_hits += l2_hits;
+  stats.l2_misses += l2_misses;
+  stats.dram_bytes += dram_bytes;
+  stats.atomics += atomics;
+  for (std::size_t r = 0; r < stall_cycles.size(); ++r) {
+    stats.stalls.cycles[r] += stall_cycles[r];
+  }
   stats.stalls.busy += busy;
+  outcome.dram_transactions = dram_transactions;
   outcome.finish = clock;
   return outcome;
 }
@@ -270,8 +300,8 @@ double TimingEngine::run_wave(const std::vector<std::vector<const BlockWork*>>& 
   // Per-SM wave views and stats partials: the event loops share nothing, so
   // they can run on the pool; merging in SM order below makes the totals
   // (including the floating-point stall sums) independent of the schedule.
-  // Views, partials and scratch are pooled across waves — the view reset
-  // re-snapshots the L2 tags into the existing storage.
+  // Views, partials and scratch are pooled across waves — the view reset is
+  // an epoch bump, and overlay pages re-snapshot lazily on first touch.
   if (views_.empty()) {
     scratch_.resize(num_sms);
     partials_.resize(num_sms);

@@ -52,6 +52,62 @@ void merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes,
     len[l] = static_cast<std::uint32_t>(lanes[l].size());
   }
 
+  // Whether ANY access of ANY lane can straddle a line boundary (or is an
+  // aligned zero-size access, which the Coalescer drops), decided once per
+  // warp from the traces' append-time straddle summaries instead of per
+  // lane per op. Warps with a straddler route every memory op through the
+  // Coalescer — the reference path, so the output is unchanged.
+  std::uint64_t straddle_or = 0;
+  for (std::size_t l = 0; l < n; ++l) straddle_or |= lanes[l].straddle_or();
+  const bool any_straddle = straddle_or >= line_bytes;
+
+  // Two-phase memory-op coalesce shared by every path below. Phase 1 reads
+  // each participating lane's address through the pure accessor addr_of —
+  // independent loads the core can overlap — and phase 2 runs a branchless
+  // ascending dedup scan over the dense local line array (the speculative
+  // store + predicated length bump beats branching on the lane pattern:
+  // irregular adjacency makes "same line as last?" genuinely unpredictable).
+  // Feeding the Coalescer lane-by-lane instead chains every insert through
+  // the previous one's state, a serial dependency the dominant in-order
+  // single-line warp pattern doesn't need. Out-of-order lanes (and any
+  // straddling warp, above) fall back to the Coalescer, whose insertion the
+  // scan specializes — the emitted line sequence is identical either way.
+  // line_bytes is a power of two (the Coalescer constructor checked).
+  const std::uint64_t line_mask = line_bytes - 1;
+  std::array<std::uint64_t, kMaxLanes> lane_lines;
+  std::array<std::uint64_t, kMaxLanes> lines_out;
+  auto emit_mem = [&](OpKind kind, Space space, std::uint16_t active,
+                      std::size_t cnt, auto&& addr_of, auto&& size_of) {
+    bool slow = any_straddle;
+    std::size_t m = 0;
+    if (!slow && cnt != 0) {
+      for (std::size_t l = 0; l < cnt; ++l) {
+        lane_lines[l] = addr_of(l) & ~line_mask;
+      }
+      std::uint64_t prev = lane_lines[0];
+      lines_out[0] = prev;
+      m = 1;
+      bool unordered = false;
+      for (std::size_t l = 1; l < cnt; ++l) {
+        const std::uint64_t v = lane_lines[l];
+        unordered |= v < prev;
+        lines_out[m] = v;
+        m += v != prev;
+        prev = v;
+      }
+      slow = unordered;
+    }
+    if (slow) {
+      coalescer.reset();
+      for (std::size_t l = 0; l < cnt; ++l) {
+        coalescer.add(addr_of(l), size_of(l));
+      }
+      out.push_op(kind, space, 1, active, coalescer.lines());
+    } else {
+      out.push_op(kind, space, 1, active, {lines_out.data(), m});
+    }
+  };
+
   // Whole-trace fast path: when every lane ran the exact same (kind, space)
   // sequence — the dominant case for the regular T-*/D-* kernels — the
   // general loop below would take its converged branch every round. Decide
@@ -71,11 +127,10 @@ void merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes,
       switch (kind) {
         case OpKind::kLoad:
         case OpKind::kStore:
-          coalescer.reset();
-          for (std::size_t l = 0; l < n; ++l) {
-            coalescer.add(addrs[l][i], cs[l][i]);
-          }
-          out.push_op(kind, space, 1, active, coalescer.lines());
+          emit_mem(
+              kind, space, active, n,
+              [&](std::size_t l) { return addrs[l][i]; },
+              [&](std::size_t l) { return cs[l][i]; });
           break;
         case OpKind::kAtomic:
           for (std::size_t l = 0; l < n; ++l) atomic_addrs[l] = addrs[l][i];
@@ -119,12 +174,11 @@ void merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes,
         switch (kind) {
           case OpKind::kLoad:
           case OpKind::kStore:
-            coalescer.reset();
-            for (std::size_t l = 0; l < n; ++l) {
-              const std::uint32_t c = cursor[l]++;
-              coalescer.add(addrs[l][c], cs[l][c]);
-            }
-            out.push_op(kind, space, 1, active, coalescer.lines());
+            emit_mem(
+                kind, space, active, n,
+                [&](std::size_t l) { return addrs[l][cursor[l]]; },
+                [&](std::size_t l) { return cs[l][cursor[l]]; });
+            for (std::size_t l = 0; l < n; ++l) ++cursor[l];
             break;
           case OpKind::kAtomic:
             for (std::size_t l = 0; l < n; ++l) {
@@ -174,8 +228,9 @@ void merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes,
 
     std::uint16_t inst = 0;
     std::uint16_t active = 0;
-    std::size_t num_atomic = 0;
-    coalescer.reset();
+    std::size_t num_addr = 0;
+    std::array<std::uint64_t, kMaxLanes> lane_addr;
+    std::array<std::uint16_t, kMaxLanes> lane_size;
     for (std::size_t lane = 0; lane < n; ++lane) {
       const std::uint32_t c = cursor[lane];
       if (c >= len[lane] || keys[lane][c] != key) continue;
@@ -184,18 +239,22 @@ void merge_warp(std::span<const ThreadTrace> lanes, std::uint32_t line_bytes,
       if (kind == OpKind::kCompute) {
         inst = std::max(inst, cs[lane][c]);
       } else if (kind == OpKind::kLoad || kind == OpKind::kStore) {
-        coalescer.add(addrs[lane][c], cs[lane][c]);
+        lane_addr[num_addr] = addrs[lane][c];
+        lane_size[num_addr++] = cs[lane][c];
       } else if (kind == OpKind::kAtomic) {
-        atomic_addrs[num_atomic++] = addrs[lane][c];
+        atomic_addrs[num_addr++] = addrs[lane][c];
       }
     }
-    if (kind != OpKind::kCompute) inst = 1;  // memory/sync ops issue once
     if (kind == OpKind::kLoad || kind == OpKind::kStore) {
-      out.push_op(kind, space, inst, active, coalescer.lines());
+      emit_mem(
+          kind, space, active, num_addr,
+          [&](std::size_t l) { return lane_addr[l]; },
+          [&](std::size_t l) { return lane_size[l]; });
     } else if (kind == OpKind::kAtomic) {
-      out.push_op(kind, space, inst, active, {atomic_addrs.data(), num_atomic});
+      out.push_op(kind, space, 1, active, {atomic_addrs.data(), num_addr});
     } else {
-      out.push_op(kind, space, inst, active);
+      // Compute keeps the lane max; memory/sync ops issue once.
+      out.push_op(kind, space, kind == OpKind::kCompute ? inst : 1, active);
     }
   }
 }

@@ -86,6 +86,12 @@ class ThreadTrace {
     push(compute_key, static_cast<std::uint16_t>(instructions), 0);
   }
   void memory(OpKind kind, Space space, std::uint64_t addr, std::uint8_t size) {
+    // Line-size-agnostic straddle summary: op i straddles a B-byte line
+    // (power of two) iff addr ^ (addr + size - 1) >= B, so the running OR
+    // answers "could any access straddle?" for every B with one compare.
+    // A zero-size access underflows to a huge XOR exactly when the lines_out
+    // fast path in merge_warp would mishandle it (see emit_mem).
+    straddle_or_ |= addr ^ (addr + size - 1);
     push(make_key(kind, space), size, addr);
   }
   void shared_access() {
@@ -99,7 +105,14 @@ class ThreadTrace {
     key_.clear();
     cs_.clear();
     addr_.clear();
+    straddle_or_ = 0;
   }
+
+  /// OR over memory ops of `addr ^ (addr + size - 1)`: compared against the
+  /// line size, answers whether any access of this trace can straddle a
+  /// line boundary (merge_warp checks it once per warp instead of per lane
+  /// per op).
+  std::uint64_t straddle_or() const { return straddle_or_; }
 
   std::uint16_t key(std::size_t i) const { return key_[i]; }
   /// Raw streams for the merge loops (hoisted out of the per-round scans).
@@ -136,6 +149,7 @@ class ThreadTrace {
   std::vector<std::uint16_t> key_;
   std::vector<std::uint16_t> cs_;   ///< compute: #instructions; memory: bytes
   std::vector<std::uint64_t> addr_;
+  std::uint64_t straddle_or_ = 0;   ///< see straddle_or()
 };
 
 /// Streams lane addresses (each `size` bytes wide) into a sorted,
@@ -261,7 +275,27 @@ class WarpTrace {
     return static_cast<std::uint16_t>(meta_[i] >> 16);
   }
   std::span<const std::uint64_t> addr_span(std::size_t i) const {
-    const std::size_t begin = meta_[i] >> 32;
+    return addr_span_at(meta_[i], i);
+  }
+
+  // Raw-word variants: the event loop loads meta(i) into a register once
+  // and decodes every field from it. The per-index accessors above would
+  // each re-load meta_[i] — the loop's stores to its own runtime state
+  // defeat the compiler's alias analysis between them.
+  std::uint64_t meta(std::size_t i) const { return meta_[i]; }
+  static OpKind meta_kind(std::uint64_t m) {
+    return static_cast<OpKind>(m & 0xff);
+  }
+  static Space meta_space(std::uint64_t m) {
+    return static_cast<Space>((m >> 8) & 0xff);
+  }
+  static std::uint16_t meta_inst_count(std::uint64_t m) {
+    return static_cast<std::uint16_t>(m >> 16);
+  }
+  /// addr_span when op `i`'s meta word `m` is already in hand (still loads
+  /// the next op's word for the end offset — that is the pool's layout).
+  std::span<const std::uint64_t> addr_span_at(std::uint64_t m, std::size_t i) const {
+    const std::size_t begin = m >> 32;
     const std::size_t end =
         i + 1 < meta_.size() ? meta_[i + 1] >> 32 : addrs_.size();
     return {addrs_.data() + begin, end - begin};

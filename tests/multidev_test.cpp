@@ -1,6 +1,6 @@
 // Multi-device partitioned coloring (speckle::multidev) and its
 // partitioners: shard construction edge cases, bit-identity guarantees
-// (P=1 vs the single-device scheme, host threads 1 vs 4), sanitizer
+// (P=1 vs the single-device scheme, host threads 1 vs 2/4/8), sanitizer
 // cleanliness of the exchange machinery, and the Table I quality bound —
 // sharded D-ldg at P in {2, 4} must stay within 1.15x of the
 // single-device color count on every suite graph.
@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -200,25 +201,29 @@ TEST(MultiDevTest, ReportsAreHostThreadInvariant) {
 
   opts.device.host_threads = 1;
   const auto a = multidev::multidev_color(g, opts);
-  opts.device.host_threads = 4;
-  const auto b = multidev::multidev_color(g, opts);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("host_threads=" + std::to_string(threads));
+    opts.device.host_threads = threads;
+    const auto b = multidev::multidev_color(g, opts);
 
-  EXPECT_EQ(a.coloring, b.coloring);
-  EXPECT_EQ(a.rounds, b.rounds);
-  EXPECT_EQ(a.exchanged_colors, b.exchanged_colors);
-  EXPECT_EQ(a.model_ms, b.model_ms);
-  EXPECT_EQ(a.hidden_ms, b.hidden_ms);
-  EXPECT_TRUE(a.exchange_rounds == b.exchange_rounds);
-  EXPECT_EQ(a.fleet_report.total_cycles, b.fleet_report.total_cycles);
-  EXPECT_EQ(a.fleet_report.d2d.bytes, b.fleet_report.d2d.bytes);
-  EXPECT_TRUE(a.san == b.san);
-  ASSERT_EQ(a.devices.size(), b.devices.size());
-  for (std::size_t k = 0; k < a.devices.size(); ++k) {
-    EXPECT_EQ(a.devices[k].sent_colors, b.devices[k].sent_colors) << k;
-    EXPECT_EQ(a.devices[k].recv_colors, b.devices[k].recv_colors) << k;
-    EXPECT_EQ(a.devices[k].rounds, b.devices[k].rounds) << k;
-    EXPECT_EQ(a.devices[k].report.total_cycles, b.devices[k].report.total_cycles)
-        << k;
+    EXPECT_EQ(a.coloring, b.coloring);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.exchanged_colors, b.exchanged_colors);
+    EXPECT_EQ(a.model_ms, b.model_ms);
+    EXPECT_EQ(a.hidden_ms, b.hidden_ms);
+    EXPECT_TRUE(a.exchange_rounds == b.exchange_rounds);
+    EXPECT_EQ(a.fleet_report.total_cycles, b.fleet_report.total_cycles);
+    EXPECT_EQ(a.fleet_report.d2d.bytes, b.fleet_report.d2d.bytes);
+    EXPECT_TRUE(a.san == b.san);
+    ASSERT_EQ(a.devices.size(), b.devices.size());
+    for (std::size_t k = 0; k < a.devices.size(); ++k) {
+      EXPECT_EQ(a.devices[k].sent_colors, b.devices[k].sent_colors) << k;
+      EXPECT_EQ(a.devices[k].recv_colors, b.devices[k].recv_colors) << k;
+      EXPECT_EQ(a.devices[k].rounds, b.devices[k].rounds) << k;
+      EXPECT_EQ(a.devices[k].report.total_cycles,
+                b.devices[k].report.total_cycles)
+          << k;
+    }
   }
 }
 
@@ -273,7 +278,9 @@ TEST(MultiDevTest, BoundaryInteriorSplitStructure) {
   vid_t boundary_total = 0;
   for (const auto& d : r.devices) {
     EXPECT_LE(d.boundary, d.owned) << "device " << d.device;
-    if (d.cut_edges > 0) EXPECT_GT(d.boundary, 0u) << "device " << d.device;
+    if (d.cut_edges > 0) {
+      EXPECT_GT(d.boundary, 0u) << "device " << d.device;
+    }
     boundary_total += d.boundary;
   }
   EXPECT_GT(boundary_total, 0u);

@@ -1,6 +1,10 @@
-// Memory-system tests: the __ldg path, L2 behavior, atomic serialization.
+// Memory-system tests: the __ldg path, L2 behavior, atomic serialization,
+// and the epoch-overlay wave commit against a straight-replay reference.
 
 #include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
 
 #include "simt/memory.hpp"
 
@@ -98,6 +102,54 @@ TEST(Memory, AtomicQueueDrainsBetweenKernels) {
   mem.atomic(0, 0.0);
   mem.begin_kernel();
   EXPECT_DOUBLE_EQ(mem.atomic(0, 0.0), dev.atomic_latency);
+}
+
+// The epoch-overlay commit's contract: after commit_wave, master L2 tags are
+// bit-identical to replaying every view's access sequence into master in SM
+// order — the reference semantics the old log-replay commit implemented
+// directly. Random traffic over a 3-set cache forces every path: single-owner
+// page swaps, contended recency merges, invalid-filler back-fill, and the
+// non-pow2 (magic division) set indexing.
+TEST(WaveCommit, MatchesSequentialReplayReference) {
+  DeviceConfig dev = DeviceConfig::k20c();
+  dev.num_sms = 4;
+  dev.l2_bytes = 128ULL * 16 * 3;  // 3 sets of 16 ways: heavy contention
+  MemorySystem mem(dev);
+  std::mt19937 rng(42);
+  std::vector<MemorySystem::WaveView> views;
+  for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+    views.push_back(mem.wave_view(sm));
+  }
+  for (int wave = 0; wave < 8; ++wave) {
+    for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+      mem.reset_view(views[sm], sm);
+    }
+    const CacheModel start = mem.l2();  // frozen wave-start master image
+    CacheModel ref = start;
+    std::vector<std::vector<std::uint64_t>> seqs(dev.num_sms);
+    for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+      // Each SM's view must answer exactly as a private copy of the
+      // wave-start master would (that is what the old commit snapshotted).
+      CacheModel snapshot = start;
+      const std::size_t n = 50 + rng() % 150;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t line = (rng() % 64) * 128;
+        seqs[sm].push_back(line);
+        const bool hit = views[sm].load(Space::kGlobal, line).l2_hit;
+        EXPECT_EQ(hit, snapshot.access(line)) << "wave " << wave << " sm " << sm;
+      }
+    }
+    mem.commit_wave(views);
+    for (std::uint32_t sm = 0; sm < dev.num_sms; ++sm) {
+      for (const std::uint64_t line : seqs[sm]) ref.access(line);
+    }
+    const std::size_t total =
+        std::size_t{ref.num_sets()} * ref.ways();
+    for (std::size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(mem.l2().tag_data()[i], ref.tag_data()[i])
+          << "wave " << wave << " tag slot " << i;
+    }
+  }
 }
 
 TEST(Config, ScaledShrinksCachesOnly) {

@@ -104,15 +104,18 @@ coloring::RunResult run_with_threads(coloring::Scheme scheme,
   return coloring::run_scheme(scheme, g, opts);
 }
 
-// threads=1 and threads=4 must agree bit-for-bit: same per-vertex colors,
-// same color count, same iteration/worklist-round count, and the same
-// simulated cycle totals per kernel. This is the executor's core contract
-// ("results are thread-count invariant"), so compare exhaustively.
-void expect_bit_identical(coloring::Scheme scheme, const std::string& suite) {
-  SCOPED_TRACE(std::string(coloring::scheme_name(scheme)) + " on " + suite);
+// threads=1 and every parallel thread count must agree bit-for-bit: same
+// per-vertex colors, same color count, same iteration/worklist-round count,
+// and the same simulated cycle totals per kernel. This is the executor's
+// core contract ("results are thread-count invariant"), so compare
+// exhaustively.
+void expect_bit_identical(coloring::Scheme scheme, const std::string& suite,
+                          std::uint32_t threads = 4) {
+  SCOPED_TRACE(std::string(coloring::scheme_name(scheme)) + " on " + suite +
+               " threads=" + std::to_string(threads));
   const graph::CsrGraph g = graph::make_suite_graph(suite, /*denom=*/64, 1);
   const auto serial = run_with_threads(scheme, g, 1);
-  const auto parallel = run_with_threads(scheme, g, 4);
+  const auto parallel = run_with_threads(scheme, g, threads);
 
   EXPECT_EQ(serial.num_colors, parallel.num_colors);
   EXPECT_EQ(serial.iterations, parallel.iterations);
@@ -149,6 +152,15 @@ TEST(ParallelExecutor, DataLdgIsThreadCountInvariant) {
 TEST(ParallelExecutor, AtomicHeavySchemeIsThreadCountInvariant) {
   // csrcolor exercises the atomic validation/re-execution path.
   expect_bit_identical(coloring::Scheme::kCsrColor, "rmat-g");
+}
+
+TEST(ParallelExecutor, DataLdgInvariantAcrossOneTwoFourEight) {
+  // The epoch-overlay commit resolves views in SM order no matter how SMs
+  // were assigned to workers, so every thread count — including more
+  // workers than the machine has cores — must reproduce threads=1 exactly.
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    expect_bit_identical(coloring::Scheme::kDataLdg, "rmat-g", threads);
+  }
 }
 
 }  // namespace

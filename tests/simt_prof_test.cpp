@@ -170,6 +170,51 @@ TEST(ProfAtomics, NaivePushCostsOneTailAtomicPerItem) {
   EXPECT_GE(lp.blocks_replayed, 1u);  // contended tail forces replays
 }
 
+// --- wave-commit overlay statistics: the single-touch commit story ---------
+
+TEST(ProfCommit, SingleOwnerPagesSwapWholesale) {
+  simt::Device dev(profiling_config());
+  auto out = dev.alloc<std::uint32_t>(64, "out");
+  // Two blocks land on two SMs in one wave; each writes its own 128-byte
+  // line, so each touched L2 page has exactly one owner and commit adopts
+  // both with a page copy — nothing goes through the recency merge.
+  dev.launch({.grid_blocks = 2, .block_threads = 32}, "disjoint_lines",
+             [&](simt::Thread& t) {
+               t.st(out, static_cast<std::size_t>(t.global_id()), 1u);
+             });
+  const prof::Report report = dev.prof_report();
+  const prof::LaunchProfile& lp = report.launches.at(0);
+  EXPECT_EQ(lp.commit.waves, 1u);
+  EXPECT_EQ(lp.commit.pages_touched, 2u);
+  EXPECT_EQ(lp.commit.pages_merged, 0u);
+  // A K20c L2 set is 16 ways of 8-byte tags = 128 bytes per adopted page.
+  EXPECT_EQ(lp.commit.bytes_swapped, 2u * 16u * 8u);
+  EXPECT_EQ(lp.commit.bytes_replayed, 0u);
+  // 32 threads per block each write one distinct uint32, staged in the
+  // block's overlay and landed exactly once at its commit slot.
+  EXPECT_EQ(lp.overlay_writes, 64u);
+  EXPECT_EQ(lp.overlay_bytes, 64u * sizeof(std::uint32_t));
+}
+
+TEST(ProfCommit, ContendedPageGoesThroughMerge) {
+  simt::Device dev(profiling_config());
+  auto in = dev.alloc<std::uint32_t>(32, "in");
+  in.fill(7);
+  // Both SMs read the SAME line: its one L2 page has two owners, so commit
+  // must rebuild it through the SM-ordered recency merge, not a page swap.
+  dev.launch({.grid_blocks = 2, .block_threads = 32}, "shared_line",
+             [&](simt::Thread& t) { (void)t.ld(in, t.lane()); });
+  const prof::Report report = dev.prof_report();
+  const prof::LaunchProfile& lp = report.launches.at(0);
+  EXPECT_EQ(lp.commit.waves, 1u);
+  EXPECT_EQ(lp.commit.pages_touched, 1u);
+  EXPECT_EQ(lp.commit.pages_merged, 1u);
+  EXPECT_EQ(lp.commit.bytes_swapped, 0u);
+  EXPECT_EQ(lp.commit.bytes_replayed, 16u * 8u);
+  EXPECT_EQ(lp.overlay_writes, 0u);  // loads stage nothing in the overlay
+  EXPECT_EQ(lp.overlay_bytes, 0u);
+}
+
 // --- off by default, reset, transfers --------------------------------------
 
 TEST(ProfLifecycle, OffByDefaultAndZeroLaunchCost) {

@@ -106,13 +106,28 @@ def main():
     ap.add_argument("--label-after", default="candidate")
     ap.add_argument("--note", action="append", default=[], help="repeatable")
     ap.add_argument("--out", help="output JSON path (default: stdout)")
+    ap.add_argument(
+        "--graph-cache",
+        metavar="DIR",
+        help="export SPECKLE_GRAPH_CACHE=DIR to both sides and prime it with "
+        "one untimed candidate run, so graph generation (a fixed ~10s floor "
+        "identical in both builds) drops out of every timed sample",
+    )
     opts = ap.parse_args()
     if bool(opts.baseline) == bool(opts.against):
         ap.error("exactly one of --baseline / --against is required")
 
+    if opts.graph_cache:
+        os.makedirs(opts.graph_cache, exist_ok=True)
+        os.environ["SPECKLE_GRAPH_CACHE"] = opts.graph_cache
+
     bench_args = shlex.split(opts.args)
     after_cmd = [opts.bench] + bench_args
     before_cmd = [opts.baseline] + bench_args if opts.baseline else None
+
+    if opts.graph_cache:
+        print("priming graph cache (untimed candidate run)...", file=sys.stderr)
+        run_once(after_cmd)
 
     before_samples, after_samples = [], []
     for i in range(opts.repeats):
