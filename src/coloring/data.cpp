@@ -1,5 +1,6 @@
 #include "coloring/data.hpp"
 
+#include "coloring/recolor.hpp"
 #include "simt/worklist.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
@@ -22,68 +23,13 @@ GpuResult data_color(const graph::CsrGraph& g, const DataOptions& opts) {
   // Double-buffered worklists (Algorithm 5 line 19): swapped by pointer.
   simt::Worklist list_a(dev, n, "list_a");
   simt::Worklist list_b(dev, n, "list_b");
-  simt::Worklist* w_in = &list_a;
-  simt::Worklist* w_out = &list_b;
-  w_in->fill_iota(n);  // W_in <- V
+  list_a.fill_iota(n);  // W_in <- V
 
-  while (!w_in->empty()) {
-    SPECKLE_CHECK(result.iterations < opts.max_iterations,
-                  "data_color exceeded max_iterations");
-    ++result.iterations;
-    const std::uint32_t count = w_in->size();
-    const simt::LaunchConfig cfg{(count + opts.block_size - 1) / opts.block_size,
-                                 opts.block_size};
-    simt::LaunchConfig racy_cfg = cfg;
-    racy_cfg.racy_visibility = true;  // the color kernel speculates via st_racy
-
-    // Lines 4-10: speculatively color every vertex in the worklist.
-    const check::KernelSpec color_spec = graph_spec(dg, opts.use_ldg)
-                                             .reads(w_in->items(), 0, count)
-                                             .reads(colors)
-                                             .racy(colors);
-    dev.launch(racy_cfg, "data_color", color_spec, [&](simt::Thread& t) {
-      const auto idx = t.global_id();
-      if (idx >= count) return;
-      t.compute(2);
-      const vid_t v = t.ld(w_in->items(), idx);
-      const color_t c = device_first_fit(t, dg, colors, v, opts.use_ldg);
-      t.st_racy(colors, v, c);
-    });
-
-    // Lines 11-18: detect conflicts among the just-colored vertices and
-    // compact the losers into the out-worklist. (The paper's listing scans
-    // all of V here; only same-round vertices can conflict, so scanning
-    // W_in is equivalent and is what keeps the scheme work-efficient —
-    // see DESIGN.md §6.)
-    w_out->clear();
-    dev.copy_to_device(sizeof(std::uint32_t));  // memset of the out tail
-    // Each consumed item re-enters at most once, so `count` bounds the
-    // pushes; both push paths (scan_push / atomic tail) ride the same
-    // declaration.
-    const check::KernelSpec detect_spec = graph_spec(dg, opts.use_ldg)
-                                              .reads(w_in->items(), 0, count)
-                                              .reads(colors)
-                                              .pushes(*w_out, count);
-    dev.launch(cfg, "data_detect", detect_spec, [&](simt::Thread& t) {
-      const auto idx = t.global_id();
-      if (idx >= count) return;
-      t.compute(2);
-      const vid_t v = t.ld(w_in->items(), idx);
-      const bool conflict = opts.ldf_tiebreak
-                                ? device_conflict_ldf(t, dg, colors, v, opts.use_ldg)
-                                : device_conflict(t, dg, colors, v, opts.use_ldg);
-      if (!conflict) return;
-      if (opts.scan_push) {
-        t.scan_push(*w_out, v);
-      } else {
-        const std::uint32_t slot = t.atomic_add(w_out->tail(), 0, 1U);
-        t.st(w_out->items(), slot, v);
-      }
-    });
-    dev.copy_to_host(sizeof(std::uint32_t));  // read |W_out|
-
-    std::swap(w_in, w_out);
-  }
+  // The speculate/resolve loop itself lives in recolor.cpp, shared with
+  // the incremental recolor_region() entry point (which seeds W_in with a
+  // dirty region instead of V).
+  result.iterations =
+      speculate_resolve(dev, dg, colors, list_a, list_b, opts, 0);
 
   result.coloring.assign(colors.host().begin(), colors.host().end());
   result.num_colors = count_colors(result.coloring);

@@ -1,0 +1,107 @@
+#include "graph/mutate.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace speckle::graph {
+
+namespace {
+
+/// Normalized undirected key (min, max).
+std::pair<vid_t, vid_t> key_of(vid_t u, vid_t v) {
+  return {std::min(u, v), std::max(u, v)};
+}
+
+}  // namespace
+
+MutationOutcome apply_mutations(const CsrGraph& g,
+                                const std::vector<EdgeMutation>& batch) {
+  const vid_t n = g.num_vertices();
+  MutationOutcome out;
+
+  // Net effect of the batch on the undirected edge set, applied in order.
+  // ordered std::set keeps the rebuild deterministic without a sort pass.
+  std::set<std::pair<vid_t, vid_t>> add;
+  std::set<std::pair<vid_t, vid_t>> del;
+  for (const EdgeMutation& m : batch) {
+    if (m.u >= n || m.v >= n || m.u == m.v) {
+      ++out.skipped;
+      continue;
+    }
+    const auto key = key_of(m.u, m.v);
+    const bool exists_base = g.has_edge(key.first, key.second);
+    const bool exists_now =
+        (exists_base && del.find(key) == del.end()) || add.count(key) != 0;
+    if (m.kind == EdgeMutation::Kind::kInsert) {
+      if (exists_now) {
+        ++out.skipped;
+        continue;
+      }
+      if (exists_base) {
+        del.erase(key);  // re-insert of an edge deleted earlier in the batch
+      } else {
+        add.insert(key);
+      }
+      ++out.applied;
+    } else {
+      if (!exists_now) {
+        ++out.skipped;
+        continue;
+      }
+      if (add.count(key) != 0) {
+        add.erase(key);  // delete of an edge inserted earlier in the batch
+      } else {
+        del.insert(key);
+      }
+      ++out.applied;
+    }
+  }
+
+  out.inserted.reserve(add.size());
+  for (const auto& [u, v] : add) out.inserted.push_back(Edge{u, v});
+
+  if (add.empty() && del.empty()) {
+    // Net no-op batch: rebuild the same CSR (cheap copy of the arrays).
+    out.graph = CsrGraph(std::vector<eid_t>(g.row_offsets().begin(),
+                                            g.row_offsets().end()),
+                         std::vector<vid_t>(g.col_indices().begin(),
+                                            g.col_indices().end()));
+    return out;
+  }
+
+  // Per-vertex sorted insert lists; deletes checked via the ordered set.
+  std::vector<std::vector<vid_t>> ins(n);
+  for (const auto& [u, v] : add) {
+    ins[u].push_back(v);
+    ins[v].push_back(u);
+  }
+  for (auto& lst : ins) std::sort(lst.begin(), lst.end());
+
+  std::vector<eid_t> row(n + 1, 0);
+  std::vector<vid_t> col;
+  col.reserve(g.num_edges() + 2 * add.size());
+  for (vid_t v = 0; v < n; ++v) {
+    row[v] = static_cast<eid_t>(col.size());
+    // Merge the (sorted) surviving adjacency with the (sorted) inserts.
+    const auto adj = g.neighbors(v);
+    std::size_t ai = 0;
+    std::size_t bi = 0;
+    while (ai < adj.size() || bi < ins[v].size()) {
+      const bool take_adj =
+          bi >= ins[v].size() || (ai < adj.size() && adj[ai] <= ins[v][bi]);
+      if (take_adj) {
+        const vid_t w = adj[ai++];
+        if (del.find(key_of(v, w)) != del.end()) continue;
+        col.push_back(w);
+      } else {
+        col.push_back(ins[v][bi++]);
+      }
+    }
+  }
+  row[n] = static_cast<eid_t>(col.size());
+  out.graph = CsrGraph(std::move(row), std::move(col));
+  return out;
+}
+
+}  // namespace speckle::graph

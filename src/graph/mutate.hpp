@@ -1,0 +1,50 @@
+#pragma once
+/// \file mutate.hpp
+/// Edge-mutation batches over an immutable CsrGraph.
+///
+/// CsrGraph is deliberately immutable (validated invariants, device-upload
+/// friendly), so a mutation batch produces a *new* CSR by merging each
+/// vertex's sorted adjacency with the batch's inserts and deletes — an
+/// O(n + m + b log b) rebuild for a batch of b mutations. That is cheap
+/// next to what the serve layer does with the result: recoloring even a
+/// small dirty region through the GPU simulator costs orders of magnitude
+/// more than the host-side merge.
+///
+/// Mutations are undirected: inserting (u, v) adds both CSR arcs, deleting
+/// removes both. Self loops, out-of-range endpoints, inserts of existing
+/// edges and deletes of missing edges are *skipped* (counted, not errors):
+/// a server applying client batches must be total, and the caller decides
+/// whether skipped entries are worth reporting.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace speckle::graph {
+
+struct EdgeMutation {
+  enum class Kind : std::uint8_t { kInsert = 0, kDelete = 1 };
+  Kind kind = Kind::kInsert;
+  vid_t u = 0;
+  vid_t v = 0;
+};
+
+struct MutationOutcome {
+  CsrGraph graph;                 ///< the post-batch CSR
+  std::uint32_t applied = 0;      ///< mutations that changed the edge set
+  std::uint32_t skipped = 0;      ///< duplicates, missing edges, loops, OOR
+  /// Undirected edges the batch actually added (u < v, deduplicated) —
+  /// exactly the candidates for new coloring conflicts. Edges that were
+  /// also deleted later in the same batch do not appear.
+  std::vector<Edge> inserted;
+};
+
+/// Apply a mutation batch in order (later entries see earlier ones: an
+/// insert followed by a delete of the same edge nets out). Deterministic.
+MutationOutcome apply_mutations(const CsrGraph& g,
+                                const std::vector<EdgeMutation>& batch);
+
+}  // namespace speckle::graph

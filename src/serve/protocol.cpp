@@ -1,0 +1,130 @@
+#include "serve/protocol.hpp"
+
+#include "support/check.hpp"
+
+namespace speckle::serve {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBadFrame: return "bad-frame";
+    case Status::kBadOpcode: return "bad-opcode";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kUnknownGraph: return "unknown-graph";
+    case Status::kUnknownScheme: return "unknown-scheme";
+    case Status::kBadVertex: return "bad-vertex";
+    case Status::kLoadFailed: return "load-failed";
+    case Status::kTimeout: return "timeout";
+    case Status::kShuttingDown: return "shutting-down";
+    case Status::kInternal: return "internal";
+  }
+  return "?";
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::str(std::string_view s) {
+  SPECKLE_CHECK(s.size() <= 0xffff, "wire string exceeds 64 KiB");
+  u16(static_cast<std::uint16_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+bool WireReader::take(std::size_t count) {
+  if (!ok_ || data_.size() - pos_ < count) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t WireReader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  if (!take(2)) return 0;
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(data_[pos_++]) << (8 * i)));
+  }
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint16_t len = u16();
+  if (!take(len)) return {};
+  std::string s(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+std::vector<std::uint8_t> make_frame(std::span<const std::uint8_t> payload) {
+  SPECKLE_CHECK(payload.size() <= kMaxFrameBytes, "frame payload exceeds cap");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFramePrefixBytes + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<std::uint8_t>(len >> shift));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::vector<std::uint8_t> make_request(Opcode op, std::uint32_t request_id,
+                                       std::span<const std::uint8_t> body) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u32(request_id);
+  std::vector<std::uint8_t> payload = w.take();
+  payload.insert(payload.end(), body.begin(), body.end());
+  return payload;
+}
+
+std::vector<std::uint8_t> make_response(Status status, std::uint32_t request_id,
+                                        std::span<const std::uint8_t> body) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u32(request_id);
+  std::vector<std::uint8_t> payload = w.take();
+  payload.insert(payload.end(), body.begin(), body.end());
+  return payload;
+}
+
+std::vector<std::uint8_t> make_error(Status status, std::uint32_t request_id,
+                                     std::string_view message) {
+  WireWriter body;
+  body.str(message);
+  return make_response(status, request_id, body.bytes());
+}
+
+}  // namespace speckle::serve

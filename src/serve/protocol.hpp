@@ -1,0 +1,136 @@
+#pragma once
+/// \file protocol.hpp
+/// The speckle_serve wire protocol: length-prefixed binary frames.
+///
+/// Every message — request or response — travels as one frame:
+///
+///   u32 payload_len (little-endian) | payload[payload_len]
+///
+/// payload_len is capped at kMaxFrameBytes; a larger prefix is a protocol
+/// violation the peer answers with a kBadFrame error before closing (the
+/// stream cannot be resynchronized past a lying prefix). An undersized but
+/// well-delimited payload only fails the one request — the frame boundary
+/// is still known, so the connection survives.
+///
+/// Request payload:   u8 opcode | u32 request_id | body...
+/// Response payload:  u8 status | u32 request_id | body...
+///
+/// All scalars are little-endian; strings are u16 length + bytes (no
+/// terminator). Request/response body layouts are documented opcode by
+/// opcode in docs/serve.md, and the encode/decode helpers here are the
+/// single source of truth both the server (session.cpp) and the client
+/// (tools/speckle_client.cpp) compile against.
+///
+/// The decoder (WireReader) is total: malformed input can never abort or
+/// read out of bounds — every getter bounds-checks and latches a failure
+/// flag the caller turns into a typed kBadRequest/kBadFrame error.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speckle::serve {
+
+/// Payload byte cap. Generous for every real request (a 10k-edge mutation
+/// batch is ~170 KB) while bounding what a hostile length prefix can make
+/// the server allocate.
+inline constexpr std::uint32_t kMaxFrameBytes = 1U << 20;
+
+/// Frame prefix size and the minimum decodable payload (opcode + id).
+inline constexpr std::size_t kFramePrefixBytes = 4;
+inline constexpr std::size_t kPayloadHeaderBytes = 5;
+
+enum class Opcode : std::uint8_t {
+  kLoad = 1,    ///< load/generate a graph, deduped through the registry
+  kColor = 2,   ///< color a loaded graph with a registered scheme
+  kQuery = 3,   ///< vertex color / color count / graph stats
+  kMutate = 4,  ///< edge insert/delete batch + incremental recolor
+  kStats = 5,   ///< session/server counters
+};
+inline constexpr std::uint8_t kNumOpcodes = 5;
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadFrame = 1,       ///< oversized/truncated frame or unparsable header
+  kBadOpcode = 2,      ///< unknown opcode byte
+  kBadRequest = 3,     ///< body failed to decode or violates preconditions
+  kUnknownGraph = 4,   ///< handle not loaded in this session
+  kUnknownScheme = 5,  ///< scheme name not in the registry
+  kBadVertex = 6,      ///< vertex id out of range
+  kLoadFailed = 7,     ///< graph generation / file read failed
+  kTimeout = 8,        ///< per-request deadline expired (request failed,
+                       ///< server lives on)
+  kShuttingDown = 9,   ///< server is draining; request not accepted
+  kInternal = 10,      ///< invariant violation server-side (never expected)
+};
+
+/// Stable lowercase identifier ("ok", "bad-frame", ...) for logs/goldens.
+const char* status_name(Status s);
+
+/// QUERY body selector.
+enum class QueryWhat : std::uint8_t {
+  kVertexColor = 0,
+  kNumColors = 1,
+  kGraphStats = 2,
+};
+
+/// Little-endian append-only payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// u16 length + raw bytes. Aborts if the string exceeds 64 KiB (callers
+  /// build these from validated inputs, not from the wire).
+  void str(std::string_view s);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian payload reader. Any over-read latches
+/// ok() == false and getters return zero values from then on.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// True when the payload decoded cleanly with no trailing garbage.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool take(std::size_t count);
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Wrap a payload in a length-prefixed frame.
+std::vector<std::uint8_t> make_frame(std::span<const std::uint8_t> payload);
+
+/// Assemble a request payload (no frame prefix).
+std::vector<std::uint8_t> make_request(Opcode op, std::uint32_t request_id,
+                                       std::span<const std::uint8_t> body = {});
+
+/// Assemble a response payload (no frame prefix).
+std::vector<std::uint8_t> make_response(Status status, std::uint32_t request_id,
+                                        std::span<const std::uint8_t> body = {});
+
+/// Assemble a typed error response: status + request id + message string.
+std::vector<std::uint8_t> make_error(Status status, std::uint32_t request_id,
+                                     std::string_view message);
+
+}  // namespace speckle::serve

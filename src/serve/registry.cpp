@@ -1,0 +1,44 @@
+#include "serve/registry.hpp"
+
+namespace speckle::serve {
+
+GraphRegistry::LoadResult GraphRegistry::load(const std::string& key,
+                                              const Generator& gen) {
+  std::promise<GraphPtr> promise;
+  std::shared_future<GraphPtr> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      future = it->second;  // dedup hit; wait outside the lock
+    } else {
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      ++generations_;
+      owner = true;
+    }
+  }
+  if (owner) {
+    try {
+      promise.set_value(gen());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);  // let a later LOAD retry
+    }
+  }
+  return {future.get(), owner};  // get() rethrows a generator failure
+}
+
+std::size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t GraphRegistry::generations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generations_;
+}
+
+}  // namespace speckle::serve

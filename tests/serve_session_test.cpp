@@ -1,0 +1,290 @@
+// Session/server semantics: the request lifecycle keeps colorings proper
+// across mutation batches, replay is bit-identical at any simulator thread
+// count, the registry generates each graph exactly once under concurrent
+// LOAD, and a per-request timeout fails the request — never the server.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check_coloring.hpp"
+#include "graph/mutate.hpp"
+#include "graph/suite.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+
+namespace speckle::serve {
+namespace {
+
+constexpr const char* kGraph = "Hamrle3";
+constexpr std::uint32_t kDenom = 512;
+constexpr std::uint64_t kSeed = 0x5eed;
+
+std::vector<std::uint8_t> load_req(std::uint32_t id, const std::string& key,
+                                   std::uint32_t denom, std::uint64_t seed) {
+  WireWriter body;
+  body.str(key);
+  body.u32(denom);
+  body.u64(seed);
+  return make_request(Opcode::kLoad, id, body.bytes());
+}
+
+std::vector<std::uint8_t> color_req(std::uint32_t id, std::uint32_t handle,
+                                    const std::string& scheme,
+                                    std::uint8_t flags = 0) {
+  WireWriter body;
+  body.u32(handle);
+  body.str(scheme);
+  body.u8(flags);
+  return make_request(Opcode::kColor, id, body.bytes());
+}
+
+std::vector<std::uint8_t> query_req(std::uint32_t id, std::uint32_t handle,
+                                    QueryWhat what, std::uint64_t arg = 0) {
+  WireWriter body;
+  body.u32(handle);
+  body.u8(static_cast<std::uint8_t>(what));
+  body.u64(arg);
+  return make_request(Opcode::kQuery, id, body.bytes());
+}
+
+std::vector<std::uint8_t> mutate_req(
+    std::uint32_t id, std::uint32_t handle,
+    const std::vector<graph::EdgeMutation>& batch) {
+  WireWriter body;
+  body.u32(handle);
+  body.u32(static_cast<std::uint32_t>(batch.size()));
+  for (const auto& m : batch) {
+    body.u8(static_cast<std::uint8_t>(m.kind));
+    body.u64(m.u);
+    body.u64(m.v);
+  }
+  return make_request(Opcode::kMutate, id, body.bytes());
+}
+
+Status status_of(const std::vector<std::uint8_t>& response) {
+  return static_cast<Status>(response.at(0));
+}
+
+/// Owns a response payload and exposes a reader positioned past the
+/// status + request-id header; fails the test on a non-Ok status. Owns the
+/// bytes so the reader's span cannot dangle (WireReader views, not copies).
+class OkBody {
+ public:
+  explicit OkBody(std::vector<std::uint8_t> response)
+      : bytes_(std::move(response)), reader_(bytes_) {
+    EXPECT_EQ(status_of(bytes_), Status::kOk) << status_name(status_of(bytes_));
+    reader_.u8();
+    reader_.u32();
+  }
+  OkBody(const OkBody&) = delete;
+  OkBody& operator=(const OkBody&) = delete;
+  WireReader& r() { return reader_; }
+  bool ok() const { return status_of(bytes_) == Status::kOk; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  WireReader reader_;
+};
+
+/// Read the full coloring back one QUERY at a time.
+coloring::Coloring query_coloring(Session& session, std::uint32_t handle,
+                                  graph::vid_t n) {
+  coloring::Coloring colors(n);
+  for (graph::vid_t v = 0; v < n; ++v) {
+    OkBody resp(
+        session.handle(query_req(1000000 + v, handle, QueryWhat::kVertexColor, v)));
+    colors[v] = resp.r().u32();
+  }
+  return colors;
+}
+
+TEST(ServeSession, LifecycleKeepsColoringProperAcrossMutations) {
+  GraphRegistry registry;
+  SessionConfig config;
+  Session session(registry, config);
+
+  OkBody load(session.handle(load_req(1, kGraph, kDenom, kSeed)));
+  ASSERT_TRUE(load.ok());
+  const std::uint32_t handle = load.r().u32();
+  const auto n = static_cast<graph::vid_t>(load.r().u64());
+  ASSERT_GT(n, 0u);
+
+  OkBody color(session.handle(color_req(2, handle, "D-ldg")));
+  ASSERT_TRUE(color.ok());
+  const std::uint32_t ncolors = color.r().u32();
+  EXPECT_GT(ncolors, 0u);
+
+  // Host-side mirror of the server's graph, rebuilt batch by batch.
+  graph::CsrGraph mirror = graph::make_suite_graph(kGraph, kDenom, kSeed);
+  std::uint32_t id = 10;
+  std::mt19937 rng(7);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<graph::EdgeMutation> batch;
+    for (int i = 0; i < 16; ++i) {
+      const auto u = static_cast<graph::vid_t>(rng() % n);
+      const auto v = static_cast<graph::vid_t>(rng() % n);
+      batch.push_back({i % 4 == 0 ? graph::EdgeMutation::Kind::kDelete
+                                  : graph::EdgeMutation::Kind::kInsert,
+                       u, v});
+    }
+    OkBody mut(session.handle(mutate_req(id++, handle, batch)));
+    ASSERT_TRUE(mut.ok());
+    mut.r().u32();  // applied
+    mut.r().u32();  // skipped
+    mut.r().u32();  // dirty
+    const std::uint8_t mode = mut.r().u8();
+    EXPECT_GE(mode, 1) << "a colored graph must be recolored";
+
+    mirror = graph::apply_mutations(mirror, batch).graph;
+    const coloring::Coloring colors = query_coloring(session, handle, n);
+    EXPECT_TRUE(speckle::testing::IsProperColoring(mirror, colors))
+        << "round " << round;
+  }
+}
+
+TEST(ServeSession, ColorIsCachedPerScheme) {
+  GraphRegistry registry;
+  Session session(registry, SessionConfig{});
+  OkBody load(session.handle(load_req(1, kGraph, kDenom, kSeed)));
+  ASSERT_TRUE(load.ok());
+  const std::uint32_t handle = load.r().u32();
+
+  OkBody first(session.handle(color_req(2, handle, "D-ldg")));
+  first.r().u32();
+  first.r().u32();
+  EXPECT_EQ(first.r().u8(), 0) << "first COLOR cannot be cached";
+  OkBody second(session.handle(color_req(3, handle, "D-ldg")));
+  second.r().u32();
+  second.r().u32();
+  EXPECT_EQ(second.r().u8(), 1) << "repeat COLOR with the same scheme is cached";
+  OkBody other(session.handle(color_req(4, handle, "D-base")));
+  other.r().u32();
+  other.r().u32();
+  EXPECT_EQ(other.r().u8(), 0) << "a different scheme re-runs";
+}
+
+TEST(ServeSession, ReplayIsBitIdenticalAcrossHostThreads) {
+  std::vector<std::vector<std::uint8_t>> outputs;
+  for (const std::uint32_t threads : {1u, 4u}) {
+    ServerOptions opts;
+    opts.session.host_threads = threads;
+    Server server(opts);
+    MemoryStream stream;
+    std::uint32_t id = 0;
+    stream.feed(make_frame(load_req(++id, kGraph, kDenom, kSeed)));
+    stream.feed(make_frame(color_req(++id, 1, "D-ldg")));
+    stream.feed(make_frame(query_req(++id, 1, QueryWhat::kNumColors)));
+    stream.feed(make_frame(mutate_req(
+        ++id, 1,
+        {{graph::EdgeMutation::Kind::kInsert, 0, 5},
+         {graph::EdgeMutation::Kind::kInsert, 1, 6}})));
+    stream.feed(make_frame(query_req(++id, 1, QueryWhat::kGraphStats)));
+    stream.feed(make_frame(make_request(Opcode::kStats, ++id)));
+    EXPECT_EQ(server.serve_stream(stream), 6u);
+    outputs.push_back(stream.output());
+  }
+  EXPECT_EQ(outputs[0], outputs[1])
+      << "responses must not depend on simulator host threads";
+}
+
+TEST(ServeSession, ConcurrentLoadOfSameKeyGeneratesOnce) {
+  GraphRegistry registry;
+  std::atomic<int> generator_runs{0};
+  constexpr int kThreads = 8;
+  std::vector<GraphRegistry::GraphPtr> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&registry, &generator_runs, &results, i] {
+      auto loaded = registry.load("key", [&generator_runs] {
+        ++generator_runs;
+        // Widen the race window: everyone else should pile onto the future.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return std::make_shared<const graph::CsrGraph>(
+            graph::make_suite_graph(kGraph, 1024, kSeed));
+      });
+      results[i] = loaded.graph;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(generator_runs.load(), 1) << "one generation, however many loaders";
+  EXPECT_EQ(registry.generations(), 1u);
+  EXPECT_EQ(registry.size(), 1u);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[i], results[0]) << "all loaders share one instance";
+  }
+  // A fully constructed graph — no torn reads: the future only resolves
+  // with the finished CSR, so the invariants hold for every loader.
+  EXPECT_GT(results[0]->num_vertices(), 0u);
+}
+
+TEST(ServeSession, FailedGenerationEvictsAndRetries) {
+  GraphRegistry registry;
+  EXPECT_THROW(registry.load("bad", []() -> GraphRegistry::GraphPtr {
+                 throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(registry.size(), 0u) << "failed entries must not stick";
+  auto loaded = registry.load("bad", [] {
+    return std::make_shared<const graph::CsrGraph>(
+        graph::make_suite_graph(kGraph, 1024, kSeed));
+  });
+  EXPECT_TRUE(loaded.fresh);
+  EXPECT_EQ(registry.generations(), 2u);
+}
+
+TEST(ServeSession, TimeoutFailsTheRequestNotTheServer) {
+  ServerOptions opts;
+  opts.timeout_ms = 20;
+  opts.test_delay_ms = 150;
+  Server server(opts);
+  MemoryStream stream;
+  stream.feed(make_frame(make_request(Opcode::kStats, 1)));
+  stream.feed(make_frame(make_request(Opcode::kStats, 2)));
+  EXPECT_EQ(server.serve_stream(stream), 2u)
+      << "the connection must survive a timed-out request";
+
+  // Both requests timed out, both got typed responses with their ids.
+  std::size_t pos = 0;
+  int seen = 0;
+  const auto& bytes = stream.output();
+  while (pos + kFramePrefixBytes <= bytes.size()) {
+    const std::uint32_t len = static_cast<std::uint32_t>(bytes[pos]) |
+                              (static_cast<std::uint32_t>(bytes[pos + 1]) << 8) |
+                              (static_cast<std::uint32_t>(bytes[pos + 2]) << 16) |
+                              (static_cast<std::uint32_t>(bytes[pos + 3]) << 24);
+    pos += kFramePrefixBytes;
+    ASSERT_LE(pos + len, bytes.size());
+    EXPECT_EQ(static_cast<Status>(bytes[pos]), Status::kTimeout);
+    ++seen;
+    pos += len;
+  }
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(ServeSession, ShutdownDrainsWithTypedRefusal) {
+  Server server(ServerOptions{});
+  server.request_shutdown();
+  MemoryStream stream;
+  stream.feed(make_frame(make_request(Opcode::kStats, 5)));
+  EXPECT_EQ(server.serve_stream(stream), 0u);
+  const auto& bytes = stream.output();
+  ASSERT_GE(bytes.size(), kFramePrefixBytes + kPayloadHeaderBytes);
+  EXPECT_EQ(static_cast<Status>(bytes[kFramePrefixBytes]),
+            Status::kShuttingDown);
+}
+
+}  // namespace
+}  // namespace speckle::serve
