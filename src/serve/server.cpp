@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -61,7 +62,7 @@ ReadStatus FdStream::read_exact(std::uint8_t* buf, std::size_t count) {
       const int ready = ::poll(fds, 2, -1);
       if (ready < 0) {
         if (errno == EINTR) continue;
-        return got == 0 ? ReadStatus::kEof : ReadStatus::kTruncated;
+        return ReadStatus::kTruncated;  // transport error, not a clean close
       }
       if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
         // Only the wake fd fired: shut down. Mid-frame this is a truncation
@@ -72,7 +73,7 @@ ReadStatus FdStream::read_exact(std::uint8_t* buf, std::size_t count) {
     const ssize_t r = ::read(read_fd_, buf + got, count - got);
     if (r < 0) {
       if (errno == EINTR) continue;
-      return got == 0 ? ReadStatus::kEof : ReadStatus::kTruncated;
+      return ReadStatus::kTruncated;  // transport error, not a clean close
     }
     if (r == 0) {
       return got == 0 ? ReadStatus::kEof : ReadStatus::kTruncated;
@@ -151,16 +152,18 @@ std::uint64_t Server::serve_stream(ByteStream& stream) {
       zombie.get();
       zombie = {};
     }
+    const std::uint32_t request_id = peek_request_id(payload);
     if (shutting_down()) {
-      write_frame(stream, make_error(Status::kShuttingDown,
-                                     peek_request_id(payload),
+      write_frame(stream, make_error(Status::kShuttingDown, request_id,
                                      "server is draining"));
       break;
     }
 
     std::vector<std::uint8_t> response;
     const std::uint32_t delay = opts_.test_delay_ms;
-    auto run = [&session, &payload, delay]() {
+    // The task owns the payload: a timed-out handler keeps running as a
+    // zombie past this loop iteration, so it must not borrow loop locals.
+    auto run = [&session, payload = std::move(payload), delay]() {
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       }
@@ -169,12 +172,12 @@ std::uint64_t Server::serve_stream(ByteStream& stream) {
     if (opts_.timeout_ms == 0) {
       response = run();
     } else {
-      auto pending = std::async(std::launch::async, run);
+      auto pending = std::async(std::launch::async, std::move(run));
       if (pending.wait_for(std::chrono::milliseconds(opts_.timeout_ms)) ==
           std::future_status::ready) {
         response = pending.get();
       } else {
-        response = make_error(Status::kTimeout, peek_request_id(payload),
+        response = make_error(Status::kTimeout, request_id,
                               "request deadline expired");
         zombie = std::move(pending);
       }
@@ -201,6 +204,18 @@ void on_shutdown_signal(int /*signo*/) {
   if (fd >= 0) {
     const char byte = 1;
     // The pipe is never drained; one byte keeps every poller awake forever.
+    [[maybe_unused]] ssize_t ignored = ::write(fd, &byte, 1);
+  }
+}
+
+/// Initiate shutdown from regular (non-handler) code: flag the server and
+/// make the never-drained self-pipe readable so every blocked poller —
+/// idle connection reads included — wakes and drains.
+void trigger_shutdown(Server& server) {
+  server.request_shutdown();
+  const int fd = g_shutdown_pipe_wr.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 1;
     [[maybe_unused]] ssize_t ignored = ::write(fd, &byte, 1);
   }
 }
@@ -298,6 +313,9 @@ int accept_loop(Server& server, int listen_fd, int wake_fd) {
     const int ready = ::poll(fds, static_cast<nfds_t>(nfds), -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
+      // A fatal poll error is a shutdown: wake workers blocked in reads on
+      // idle connections, or the pool.drain() below would join forever.
+      trigger_shutdown(server);
       break;
     }
     if (nfds == 2 && (fds[1].revents & POLLIN) != 0) break;  // shutdown
@@ -329,7 +347,18 @@ int run_unix(Server& server, const std::string& path, int wake_fd) {
     return 1;
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  ::unlink(path.c_str());
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      // Never delete a random file that happens to sit at --unix.
+      std::fprintf(stderr,
+                   "speckle_serve: refusing to replace non-socket file: %s\n",
+                   path.c_str());
+      ::close(fd);
+      return 1;
+    }
+    ::unlink(path.c_str());
+  }
   if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
       ::listen(fd, 64) != 0) {

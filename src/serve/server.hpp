@@ -49,7 +49,7 @@ struct ServerOptions {
 enum class ReadStatus {
   kOk,         ///< all bytes delivered
   kEof,        ///< clean end-of-stream before the first byte
-  kTruncated,  ///< stream ended (or erred) mid-read
+  kTruncated,  ///< transport error, or stream ended mid-read
 };
 
 class ByteStream {
