@@ -3,10 +3,13 @@
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "graph/cache.hpp"
+#include "graph/genspec.hpp"
 #include "graph/suite.hpp"
 #include "support/check.hpp"
+#include "support/threadpool.hpp"
 
 namespace speckle::bench {
 
@@ -48,11 +51,26 @@ BenchContext parse_context(int argc, char** argv,
   if (graphs.empty()) {
     for (const auto& entry : graph::suite_entries()) ctx.graphs.push_back(entry.name);
   } else {
+    // Spec entries ("model:key=value,...") may themselves contain commas,
+    // so the list splits on commas only outside a spec's argument tail —
+    // a new entry starts where a comma is followed by a known suite name
+    // or another "model:" prefix.
     std::stringstream ss(graphs);
     std::string name;
     while (std::getline(ss, name, ',')) {
-      graph::suite_entry(name);  // aborts on unknown names
+      if (!ctx.graphs.empty() && ctx.graphs.back().find(':') != std::string::npos &&
+          name.find('=') != std::string::npos && name.find(':') == std::string::npos) {
+        ctx.graphs.back() += "," + name;  // continuation of the spec's args
+        continue;
+      }
       ctx.graphs.push_back(name);
+    }
+    for (const std::string& entry : ctx.graphs) {
+      if (entry.find(':') != std::string::npos) {
+        graph::parse_generator_spec(entry, ctx.seed);  // aborts on bad specs
+      } else {
+        graph::suite_entry(entry);  // aborts on unknown names
+      }
     }
   }
 
@@ -70,11 +88,23 @@ const graph::CsrGraph& get_graph(const BenchContext& ctx, const std::string& nam
   const auto key = std::make_pair(name, ctx.denom);
   auto it = cache.find(key);
   if (it == cache.end()) {
-    it = cache
-             .emplace(key, graph::make_suite_graph_cached(
-                               name, ctx.denom, ctx.seed * 0x5eed,
-                               ctx.graph_cache))
-             .first;
+    graph::CsrGraph g;
+    if (name.find(':') != std::string::npos) {
+      // GeneratorSpec entry: sharded generation + parallel CSR build at
+      // the bench's --threads concurrency (denom does not apply — the
+      // spec names its own size).
+      const graph::GeneratorSpec spec =
+          graph::parse_generator_spec(name, ctx.seed * 0x5eed);
+      const unsigned threads =
+          ctx.threads != 0 ? ctx.threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+      support::ThreadPool pool(threads);
+      g = graph::generate_graph_cached(spec, pool, ctx.graph_cache);
+    } else {
+      g = graph::make_suite_graph_cached(name, ctx.denom, ctx.seed * 0x5eed,
+                                         ctx.graph_cache);
+    }
+    it = cache.emplace(key, std::move(g)).first;
   }
   return it->second;
 }

@@ -6,7 +6,12 @@
 ///   --denom=N    vertex-count divisor vs. paper scale (default 8; 1 = full
 ///                paper scale). Machine-model caches scale by the same
 ///                factor so working-set/cache ratios match the paper.
-///   --graphs=a,b comma-separated subset of the Table I suite
+///   --graphs=a,b comma-separated subset of the Table I suite. Entries
+///                containing ':' are GeneratorSpec strings instead
+///                ("model:key=value,..." per graph/genspec.hpp, e.g.
+///                "ba:n=1m,attach=4") and are generated through the
+///                sharded parallel pipeline at --threads concurrency —
+///                bit-identical output at any thread count
 ///   --block=N    thread-block size (default 128, the paper's choice)
 ///   --seed=N     RNG seed for generators and algorithms
 ///   --threads=N  host threads for the simulator's wave executor (0 = one
@@ -48,7 +53,7 @@ struct BenchContext {
   bool check = false;         ///< enable DeviceConfig::check
   bool csv = false;
   std::string graph_cache;    ///< on-disk CSR cache dir; "" = disabled
-  std::vector<std::string> graphs;  ///< suite names, Table I order
+  std::vector<std::string> graphs;  ///< suite names or "model:..." specs
 
   /// Run options with cache capacities scaled by `denom`.
   coloring::RunOptions run_options() const;

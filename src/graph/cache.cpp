@@ -1,11 +1,13 @@
 #include "graph/cache.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "graph/genspec.hpp"
 #include "graph/suite.hpp"
 
 namespace speckle::graph {
@@ -14,14 +16,15 @@ namespace {
 
 constexpr std::uint64_t kCacheMagic = 0x53504b2d43535231ULL;  // "SPK-CSR1"
 
+/// Fixed-size header prefix; the variable-length key string follows it.
+/// `version` sits at byte offset 8 in every format version.
 struct CacheHeader {
   std::uint64_t magic = kCacheMagic;
   std::uint32_t version = kGraphCacheVersion;
   std::uint32_t vid_bytes = sizeof(vid_t);
   std::uint32_t eid_bytes = sizeof(eid_t);
-  std::uint32_t denom = 0;
-  std::uint64_t seed = 0;
-  std::uint64_t name_hash = 0;
+  std::uint32_t key_len = 0;
+  std::uint64_t key_hash = 0;
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
 };
@@ -35,18 +38,35 @@ std::uint64_t fnv1a64(const std::string& s) {
   return h;
 }
 
-/// Re-check every CsrGraph invariant on untrusted bytes, so a torn or
-/// bit-rotted cache file regenerates instead of aborting the constructor.
+/// A filesystem-safe, human-skimmable prefix of the key: alnum and a few
+/// separators kept, everything else collapsed to '-', capped in length.
+/// Uniqueness comes from the appended key hash, not from this prefix.
+std::string sanitize_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const auto uc = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(uc) || c == '.' || c == '_' || c == '=' ? c
+                                                                       : '-');
+    if (out.size() >= 80) break;
+  }
+  return out;
+}
+
+/// Re-check every CsrGraph invariant (the same set CsrGraph::validate
+/// covers, including sorted deduplicated adjacency) on untrusted bytes, so
+/// a torn or bit-rotted cache file regenerates instead of aborting the
+/// CsrGraph constructor.
 bool csr_arrays_valid(const std::vector<eid_t>& row,
                       const std::vector<vid_t>& col) {
   if (row.empty() || row.front() != 0) return false;
   if (row.back() != col.size()) return false;
-  const vid_t n = static_cast<vid_t>(row.size() - 1);
+  const auto n = static_cast<vid_t>(row.size() - 1);
   for (vid_t v = 0; v < n; ++v) {
     if (row[v + 1] < row[v]) return false;
     for (eid_t e = row[v]; e < row[v + 1]; ++e) {
-      if (col[e] >= n) return false;
-      if (col[e] == v) return false;  // self loop
+      if (col[e] >= n || col[e] == v) return false;
+      if (e > row[v] && col[e - 1] >= col[e]) return false;
     }
   }
   return true;
@@ -60,16 +80,14 @@ std::string resolve_graph_cache_dir(const std::string& flag) {
   return "";
 }
 
-std::string graph_cache_path(const std::string& dir, const std::string& name,
-                             std::uint32_t denom, std::uint64_t seed) {
+std::string graph_cache_path(const std::string& dir, const std::string& key) {
   std::ostringstream out;
-  out << dir << '/' << name << ".d" << denom << ".s" << std::hex << seed
-      << ".v" << std::dec << kGraphCacheVersion << ".csr";
+  out << dir << '/' << sanitize_key(key) << ".h" << std::hex << fnv1a64(key)
+      << std::dec << ".v" << kGraphCacheVersion << ".csr";
   return out.str();
 }
 
-bool load_cached_graph(const std::string& path, const std::string& name,
-                       std::uint32_t denom, std::uint64_t seed,
+bool load_cached_graph(const std::string& path, const std::string& key,
                        CsrGraph* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return false;
@@ -78,10 +96,12 @@ bool load_cached_graph(const std::string& path, const std::string& name,
   if (!in.good()) return false;
   if (hdr.magic != kCacheMagic || hdr.version != kGraphCacheVersion ||
       hdr.vid_bytes != sizeof(vid_t) || hdr.eid_bytes != sizeof(eid_t) ||
-      hdr.denom != denom || hdr.seed != seed ||
-      hdr.name_hash != fnv1a64(name)) {
+      hdr.key_len != key.size() || hdr.key_hash != fnv1a64(key)) {
     return false;
   }
+  std::string stored_key(hdr.key_len, '\0');
+  in.read(stored_key.data(), static_cast<std::streamsize>(stored_key.size()));
+  if (!in.good() || stored_key != key) return false;
   std::vector<eid_t> row(hdr.num_vertices + 1);
   std::vector<vid_t> col(hdr.num_edges);
   in.read(reinterpret_cast<char*>(row.data()),
@@ -96,8 +116,7 @@ bool load_cached_graph(const std::string& path, const std::string& name,
   return true;
 }
 
-bool store_cached_graph(const std::string& path, const std::string& name,
-                        std::uint32_t denom, std::uint64_t seed,
+bool store_cached_graph(const std::string& path, const std::string& key,
                         const CsrGraph& g) {
   std::error_code ec;
   std::filesystem::create_directories(
@@ -108,12 +127,12 @@ bool store_cached_graph(const std::string& path, const std::string& name,
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out.good()) return false;
     CacheHeader hdr;
-    hdr.denom = denom;
-    hdr.seed = seed;
-    hdr.name_hash = fnv1a64(name);
+    hdr.key_len = static_cast<std::uint32_t>(key.size());
+    hdr.key_hash = fnv1a64(key);
     hdr.num_vertices = g.num_vertices();
     hdr.num_edges = g.num_edges();
     out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
     out.write(reinterpret_cast<const char*>(g.row_offsets().data()),
               static_cast<std::streamsize>(g.row_offsets().size() *
                                            sizeof(eid_t)));
@@ -130,14 +149,23 @@ bool store_cached_graph(const std::string& path, const std::string& name,
   return true;
 }
 
+std::string suite_cache_key(const std::string& name, std::uint32_t denom,
+                            std::uint64_t seed) {
+  std::ostringstream out;
+  out << "suite:" << name << "|denom=" << denom << '|'
+      << canonical_spec_key(suite_generator_spec(name, denom, seed));
+  return out.str();
+}
+
 CsrGraph make_suite_graph_cached(const std::string& name, std::uint32_t denom,
                                  std::uint64_t seed, const std::string& dir) {
   if (dir.empty()) return make_suite_graph(name, denom, seed);
-  const std::string path = graph_cache_path(dir, name, denom, seed);
+  const std::string key = suite_cache_key(name, denom, seed);
+  const std::string path = graph_cache_path(dir, key);
   CsrGraph g;
-  if (load_cached_graph(path, name, denom, seed, &g)) return g;
+  if (load_cached_graph(path, key, &g)) return g;
   g = make_suite_graph(name, denom, seed);
-  store_cached_graph(path, name, denom, seed, g);  // best effort
+  store_cached_graph(path, key, g);  // best effort
   return g;
 }
 

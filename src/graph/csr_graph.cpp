@@ -38,6 +38,23 @@ bool CsrGraph::has_edge(vid_t v, vid_t w) const {
   return std::binary_search(adj.begin(), adj.end(), w);
 }
 
+bool CsrGraph::validate() const {
+  if (row_offsets_.empty() || row_offsets_.front() != 0) return false;
+  if (row_offsets_.back() != col_indices_.size()) return false;
+  const vid_t n = num_vertices();
+  for (std::size_t i = 1; i < row_offsets_.size(); ++i) {
+    if (row_offsets_[i - 1] > row_offsets_[i]) return false;
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    const auto adj = neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      if (adj[i] >= n || adj[i] == v) return false;
+      if (i > 0 && adj[i - 1] >= adj[i]) return false;  // sorted, deduplicated
+    }
+  }
+  return true;
+}
+
 bool CsrGraph::is_symmetric() const {
   for (vid_t v = 0; v < num_vertices(); ++v) {
     for (vid_t w : neighbors(v)) {

@@ -50,6 +50,14 @@ class CsrGraph {
   /// True if w appears in adj(v) (binary search; adjacency must be sorted).
   bool has_edge(vid_t v, vid_t w) const;
 
+  /// Re-verify every structural invariant on the stored arrays, plus the
+  /// canonical-form properties the builder guarantees (each adjacency list
+  /// strictly ascending — i.e. sorted and duplicate-free). The constructor
+  /// aborts on broken invariants; validate() reports them, which is what
+  /// consumers of untrusted bytes (the on-disk cache) and the generator
+  /// conformance tests need.
+  bool validate() const;
+
   /// Bytes occupied by the two CSR arrays (what gets copied to the device).
   std::size_t byte_size() const {
     return row_offsets_.size() * sizeof(eid_t) + col_indices_.size() * sizeof(vid_t);

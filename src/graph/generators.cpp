@@ -11,50 +11,76 @@ namespace speckle::graph {
 
 using support::Xoshiro256;
 
-EdgeList rmat(std::uint32_t scale, std::uint64_t num_edges, const RmatParams& params,
-              std::uint64_t seed) {
+Edge rmat_edge(Xoshiro256& rng, std::uint32_t scale, const RmatParams& params) {
+  vid_t src = 0;
+  vid_t dst = 0;
+  double a = params.a, b = params.b, c = params.c, d = params.d;
+  for (std::uint32_t level = 0; level < scale; ++level) {
+    const double r = rng.next_double();
+    src <<= 1;
+    dst <<= 1;
+    if (r < a) {
+      // top-left quadrant: no bits set
+    } else if (r < a + b) {
+      dst |= 1;
+    } else if (r < a + b + c) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+    if (params.noise > 0.0) {
+      // Jitter each quadrant probability by ±noise/2 and renormalize, as
+      // the reference R-MAT generator does to break self-similarity.
+      auto jitter = [&](double p) {
+        return p * (1.0 - params.noise / 2.0 + params.noise * rng.next_double());
+      };
+      a = jitter(a);
+      b = jitter(b);
+      c = jitter(c);
+      d = jitter(d);
+      const double total = a + b + c + d;
+      a /= total;
+      b /= total;
+      c /= total;
+      d /= total;
+    }
+  }
+  return {src, dst};
+}
+
+namespace {
+
+void check_rmat_args(std::uint32_t scale, const RmatParams& params) {
   SPECKLE_CHECK(scale >= 1 && scale <= 31, "rmat scale must be in [1,31]");
   const double sum = params.a + params.b + params.c + params.d;
   SPECKLE_CHECK(std::abs(sum - 1.0) < 1e-6, "rmat parameters must sum to 1");
+}
+
+}  // namespace
+
+EdgeList rmat(std::uint32_t scale, std::uint64_t num_edges, const RmatParams& params,
+              std::uint64_t seed) {
+  check_rmat_args(scale, params);
   Xoshiro256 rng(seed);
   EdgeList edges;
   edges.reserve(num_edges);
   for (std::uint64_t i = 0; i < num_edges; ++i) {
-    vid_t src = 0;
-    vid_t dst = 0;
-    double a = params.a, b = params.b, c = params.c, d = params.d;
-    for (std::uint32_t level = 0; level < scale; ++level) {
-      const double r = rng.next_double();
-      src <<= 1;
-      dst <<= 1;
-      if (r < a) {
-        // top-left quadrant: no bits set
-      } else if (r < a + b) {
-        dst |= 1;
-      } else if (r < a + b + c) {
-        src |= 1;
-      } else {
-        src |= 1;
-        dst |= 1;
-      }
-      if (params.noise > 0.0) {
-        // Jitter each quadrant probability by ±noise/2 and renormalize, as
-        // the reference R-MAT generator does to break self-similarity.
-        auto jitter = [&](double p) {
-          return p * (1.0 - params.noise / 2.0 + params.noise * rng.next_double());
-        };
-        a = jitter(a);
-        b = jitter(b);
-        c = jitter(c);
-        d = jitter(d);
-        const double total = a + b + c + d;
-        a /= total;
-        b /= total;
-        c /= total;
-        d /= total;
-      }
-    }
-    edges.push_back({src, dst});
+    edges.push_back(rmat_edge(rng, scale, params));
+  }
+  return edges;
+}
+
+EdgeList kronecker(std::uint32_t scale, std::uint64_t num_edges,
+                   const RmatParams& params, std::uint64_t seed) {
+  RmatParams initiator = params;
+  initiator.noise = 0.0;
+  check_rmat_args(scale, initiator);
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    edges.push_back(rmat_edge(rng, scale, initiator));
   }
   return edges;
 }

@@ -16,6 +16,7 @@
 
 #include "graph/builder.hpp"
 #include "graph/types.hpp"
+#include "support/rng.hpp"
 
 namespace speckle::graph {
 
@@ -30,9 +31,23 @@ struct RmatParams {
   double noise = 0.1;
 };
 
+/// Draw one R-MAT endpoint pair from `rng` (scale recursion levels,
+/// quadrant probabilities + optional per-level noise from `params`). The
+/// building block both the serial generators below and the sharded
+/// generators (genspec.hpp) consume — one chunk = one rng, many draws.
+Edge rmat_edge(support::Xoshiro256& rng, std::uint32_t scale,
+               const RmatParams& params);
+
 /// Generate `num_edges` R-MAT edge pairs over 2^scale vertices.
 EdgeList rmat(std::uint32_t scale, std::uint64_t num_edges, const RmatParams& params,
               std::uint64_t seed);
+
+/// Stochastic Kronecker graph (Leskovec et al.): recursive descent with a
+/// fixed 2x2 initiator (a,b;c,d) — R-MAT with the per-level noise pinned
+/// to zero, which keeps the self-similar community structure KaGen's SKG
+/// generator produces. `params.noise` is ignored.
+EdgeList kronecker(std::uint32_t scale, std::uint64_t num_edges,
+                   const RmatParams& params, std::uint64_t seed);
 
 /// Erdős–Rényi G(n, m): m distinct endpoint pairs drawn uniformly.
 EdgeList erdos_renyi(vid_t num_vertices, std::uint64_t num_edges, std::uint64_t seed);

@@ -47,49 +47,65 @@ const SuiteEntry& suite_entry(const std::string& name) {
   return suite_entries().front();  // unreachable
 }
 
-CsrGraph make_suite_graph(const std::string& name, std::uint32_t denom,
-                          std::uint64_t seed) {
+GeneratorSpec suite_generator_spec(const std::string& name,
+                                   std::uint32_t denom, std::uint64_t seed) {
   SPECKLE_CHECK(is_pow2(denom), "suite denom must be a power of two");
   // The sub-seeds below are seed+k offsets and callers derive seed*k
   // products; seed 0 collapses those into colliding streams, so reject it
   // loudly instead of silently producing correlated graphs.
   SPECKLE_CHECK(seed != 0, "suite seed 0 is reserved; pass a nonzero seed");
+  GeneratorSpec spec;
   if (name == "rmat-er" || name == "rmat-g") {
     // Paper: 1M-vertex R-MAT, ~21M directed CSR entries -> ~10.5 undirected
     // edges per vertex before dedup. (a,b,c,d) per Section IV.
     const std::uint32_t scale = 20 - log2u(denom);
-    const vid_t n = 1u << scale;
-    const std::uint64_t undirected = static_cast<std::uint64_t>(n) * 21 / 2;
-    RmatParams params;
-    if (name == "rmat-g") params = {0.45, 0.15, 0.15, 0.25, 0.1};
-    return build_csr(n, rmat(scale, undirected, params, seed));
-  }
-  if (name == "thermal2") {
+    spec.model = GenModel::kRmat;
+    spec.num_vertices = 1ULL << scale;
+    spec.num_edges = spec.num_vertices * 21 / 2;
+    if (name == "rmat-g") spec.quadrants = {0.45, 0.15, 0.15, 0.25, 0.1};
+    spec.seed = seed;
+  } else if (name == "thermal2") {
     const vid_t d = scale_dim(107, denom, 3.0);
-    EdgeList edges = stencil3d(d, d, d);
-    const vid_t n = d * d * d;
-    add_local_defects(edges, n, 0.5, d, seed + 1);
-    return build_csr(n, std::move(edges));
-  }
-  if (name == "atmosmodd") {
-    const vid_t dx = scale_dim(108, denom, 3.0);
-    const vid_t dy = scale_dim(108, denom, 3.0);
-    const vid_t dz = scale_dim(109, denom, 3.0);
-    return build_csr(dx * dy * dz, stencil3d(dx, dy, dz));
-  }
-  if (name == "Hamrle3") {
+    spec.model = GenModel::kGrid3d;
+    spec.nx = spec.ny = spec.nz = d;
+    spec.defects = 0.5;
+    spec.window = d;
+    spec.seed = seed + 1;
+  } else if (name == "atmosmodd") {
+    spec.model = GenModel::kGrid3d;
+    spec.nx = scale_dim(108, denom, 3.0);
+    spec.ny = scale_dim(108, denom, 3.0);
+    spec.nz = scale_dim(109, denom, 3.0);
+    spec.seed = seed;
+  } else if (name == "Hamrle3") {
     const auto n = static_cast<vid_t>(1447360 / denom);
-    const vid_t window = n < 2000 ? n / 2 : 1000;
-    return build_csr(n, local_random(n, 1, 7, window, seed + 2));
-  }
-  if (name == "G3_circuit") {
+    spec.model = GenModel::kLocalRandom;
+    spec.num_vertices = n;
+    spec.deg_lo = 1;
+    spec.deg_hi = 7;
+    spec.window = n < 2000 ? n / 2 : 1000;
+    spec.seed = seed + 2;
+  } else if (name == "G3_circuit") {
     const vid_t d = scale_dim(1259, denom, 2.0);
-    EdgeList edges = stencil2d(d, d);
-    add_local_defects(edges, d * d, 0.42, d, seed + 3);
-    return build_csr(d * d, std::move(edges));
+    spec.model = GenModel::kGrid2d;
+    spec.nx = spec.ny = d;
+    spec.defects = 0.42;
+    spec.window = d;
+    spec.seed = seed + 3;
+  } else {
+    SPECKLE_CHECK(false, "unknown suite graph '" + name + "'");
   }
-  SPECKLE_CHECK(false, "unknown suite graph '" + name + "'");
-  return CsrGraph();  // unreachable
+  return normalized(spec);
+}
+
+CsrGraph make_suite_graph(const std::string& name, std::uint32_t denom,
+                          std::uint64_t seed) {
+  // generate_edges_serial replays exactly the RNG streams the suite has
+  // always drawn (suite_generator_spec carries the historical seed
+  // offsets), so this build is byte-identical to every prior release.
+  const GeneratorSpec spec = suite_generator_spec(name, denom, seed);
+  return build_csr(static_cast<vid_t>(spec.num_vertices),
+                   generate_edges_serial(spec));
 }
 
 }  // namespace speckle::graph

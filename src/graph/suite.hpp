@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "graph/genspec.hpp"
 
 namespace speckle::graph {
 
@@ -50,8 +51,18 @@ const std::vector<SuiteEntry>& suite_entries();
 /// Entry lookup by name; aborts on unknown name.
 const SuiteEntry& suite_entry(const std::string& name);
 
+/// The GeneratorSpec a suite graph is built from: model, scaled dimensions
+/// and the name's historical sub-seed offset, normalized. The spec's seed
+/// already embeds the per-name offset (thermal2 seed+1, Hamrle3 seed+2,
+/// G3_circuit seed+3) that keeps the suite's RNG streams independent.
+/// `denom` must be a power of two >= 1; seed must be nonzero.
+GeneratorSpec suite_generator_spec(const std::string& name,
+                                   std::uint32_t denom, std::uint64_t seed);
+
 /// Build one suite graph. `denom` must be a power of two >= 1.
-/// Deterministic for a given (name, denom, seed).
+/// Deterministic for a given (name, denom, seed) — and byte-stable across
+/// releases: the suite draws through generate_edges_serial, the legacy
+/// single-stream path every checked-in golden depends on.
 CsrGraph make_suite_graph(const std::string& name, std::uint32_t denom,
                           std::uint64_t seed = 0x5eed);
 

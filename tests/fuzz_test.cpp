@@ -1,15 +1,20 @@
-// Randomized property tests: arbitrary edge soups through the builder and
-// every coloring scheme. Seeds are fixed, so failures reproduce exactly.
+// Randomized property tests: arbitrary edge soups through the builder
+// (serial and sharded-parallel, which must agree byte-for-byte) and every
+// coloring scheme. Seeds are fixed, so failures reproduce exactly.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "check_coloring.hpp"
 #include "coloring/runner.hpp"
+#include "graph/build_parallel.hpp"
 #include "graph/builder.hpp"
 #include "graph/partition.hpp"
 #include "graph/permute.hpp"
 #include "multidev/multidev.hpp"
 #include "support/rng.hpp"
+#include "support/threadpool.hpp"
 
 namespace {
 
@@ -69,6 +74,90 @@ TEST_P(FuzzBuilder, PermutationRoundTripPreservesEdges) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBuilder, ::testing::Range(0, 20));
+
+bool same_graph(const CsrGraph& a, const CsrGraph& b) {
+  return std::ranges::equal(a.row_offsets(), b.row_offsets()) &&
+         std::ranges::equal(a.col_indices(), b.col_indices());
+}
+
+class FuzzParallelBuild : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzParallelBuild, ShardedBuildMatchesSerialReferenceByteForByte) {
+  // Random soup split into randomized shards (including empty ones), built
+  // by build_csr_parallel at several thread counts — every result must
+  // equal the serial reference build of the concatenated list exactly.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  support::Xoshiro256 rng(seed + 0xb111d);
+  const auto n = static_cast<vid_t>(2 + rng.next_below(800));
+  const auto m = rng.next_below(5 * static_cast<std::uint64_t>(n) + 1);
+  const auto num_shards = 1 + rng.next_below(9);  // 1..9, some will be empty
+
+  EdgeList all;
+  std::vector<EdgeList> shards(num_shards);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const Edge e{static_cast<vid_t>(rng.next_below(n)),
+                 static_cast<vid_t>(rng.next_below(n))};
+    all.push_back(e);
+    shards[rng.next_below(num_shards)].push_back(e);
+  }
+  const CsrGraph reference = build_csr(n, std::move(all));
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    support::ThreadPool pool(threads);
+    const CsrGraph parallel = graph::build_csr_parallel(n, shards, pool);
+    EXPECT_TRUE(same_graph(reference, parallel)) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParallelBuild, ::testing::Range(0, 20));
+
+TEST(FuzzParallelBuildEdge, DegenerateShardConfigurations) {
+  support::ThreadPool pool(4);
+  // All shards empty: a valid 0-edge graph over n vertices.
+  {
+    const std::vector<EdgeList> shards(6);
+    const CsrGraph g = graph::build_csr_parallel(100, shards, pool);
+    EXPECT_EQ(g.num_vertices(), 100u);
+    EXPECT_EQ(g.num_edges(), 0u);
+    EXPECT_TRUE(g.validate());
+  }
+  // No shards at all.
+  {
+    const CsrGraph g = graph::build_csr_parallel(5, {}, pool);
+    EXPECT_EQ(g.num_vertices(), 5u);
+    EXPECT_EQ(g.num_edges(), 0u);
+  }
+  // All-duplicate edges (plus self loops): dedup collapses everything to
+  // one undirected edge, exactly as the serial builder does.
+  {
+    std::vector<EdgeList> shards(3);
+    for (auto& s : shards) {
+      for (int i = 0; i < 50; ++i) {
+        s.push_back({1, 2});
+        s.push_back({2, 1});
+        s.push_back({3, 3});  // self loop, dropped
+      }
+    }
+    EdgeList all;
+    for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+    const CsrGraph parallel = graph::build_csr_parallel(4, shards, pool);
+    const CsrGraph serial = build_csr(4, std::move(all));
+    EXPECT_TRUE(same_graph(serial, parallel));
+    EXPECT_EQ(parallel.num_edges(), 2u);  // 1-2 both directions
+  }
+  // Single hub vertex: one massively imbalanced row must not break the
+  // per-row canonicalization or the counting sort.
+  {
+    std::vector<EdgeList> shards(4);
+    const vid_t n = 5000;
+    for (vid_t v = 1; v < n; ++v) shards[v % 4].push_back({0, v});
+    EdgeList all;
+    for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+    const CsrGraph parallel = graph::build_csr_parallel(n, shards, pool);
+    const CsrGraph serial = build_csr(n, std::move(all));
+    EXPECT_TRUE(same_graph(serial, parallel));
+    EXPECT_EQ(parallel.degree(0), n - 1);
+  }
+}
 
 class FuzzSchemes : public ::testing::TestWithParam<int> {};
 

@@ -1,7 +1,9 @@
-// On-disk CSR cache for generated suite graphs (graph/cache.hpp):
-// roundtrip bit-identity, key and format-version guards, corruption and
-// truncation tolerance (a bad file is a miss that regenerates, never an
-// abort), and the flag-vs-environment resolution order.
+// On-disk CSR cache for generated graphs (graph/cache.hpp): roundtrip
+// bit-identity for suite graphs and for every GeneratorSpec model, key and
+// format-version guards (including rejection of the v1 tuple-key layout),
+// corruption and truncation tolerance (a bad file is a miss that
+// regenerates, never an abort), and the flag-vs-environment resolution
+// order.
 
 #include <gtest/gtest.h>
 
@@ -11,10 +13,13 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "graph/cache.hpp"
 #include "graph/csr_graph.hpp"
+#include "graph/genspec.hpp"
 #include "graph/suite.hpp"
+#include "support/threadpool.hpp"
 
 namespace {
 
@@ -45,9 +50,14 @@ bool same_graph(const CsrGraph& a, const CsrGraph& b) {
          std::ranges::equal(a.col_indices(), b.col_indices());
 }
 
+std::string hamrle_key() { return graph::suite_cache_key("Hamrle3", 64, 5); }
+std::string hamrle_path(const std::string& dir) {
+  return graph::graph_cache_path(dir, hamrle_key());
+}
+
 TEST_F(GraphCacheTest, MissGeneratesHitLoadsBitIdentical) {
   const CsrGraph direct = graph::make_suite_graph("Hamrle3", 64, 5);
-  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
+  const std::string path = hamrle_path(dir());
   EXPECT_FALSE(fs::exists(path));
 
   // First call misses, generates, and stores.
@@ -58,7 +68,7 @@ TEST_F(GraphCacheTest, MissGeneratesHitLoadsBitIdentical) {
   // Second call must serve the file, and the bytes must decode to the
   // exact same CSR arrays.
   CsrGraph loaded;
-  ASSERT_TRUE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &loaded));
+  ASSERT_TRUE(graph::load_cached_graph(path, hamrle_key(), &loaded));
   EXPECT_TRUE(same_graph(loaded, direct));
   const CsrGraph second = graph::make_suite_graph_cached("Hamrle3", 64, 5, dir());
   EXPECT_TRUE(same_graph(second, direct));
@@ -70,28 +80,62 @@ TEST_F(GraphCacheTest, EmptyDirDisablesCaching) {
   EXPECT_FALSE(fs::exists(dir_));
 }
 
-TEST_F(GraphCacheTest, KeyFieldsArePartOfTheFilenameAndHeader) {
+TEST_F(GraphCacheTest, EverySpecModelRoundTripsThroughTheCache) {
+  // One small spec per generator model: the first generate_graph_cached
+  // stores, the second must load bit-identical bytes, and the key string
+  // must be embedded verbatim.
+  const std::vector<std::string> specs = {
+      "rmat:scale=10,deg=8,seed=9",
+      "kron:scale=10,deg=8,seed=9",
+      "ba:n=2000,attach=3,seed=9",
+      "rgg2d:n=2000,deg=8,seed=9",
+      "grid2d:nx=40,ny=50,defects=0.4,seed=9",
+      "grid3d:nx=12,ny=13,nz=14,defects=0.5,seed=9",
+      "localrand:n=3000,deglo=1,deghi=7,seed=9",
+      "er:n=2000,deg=8,seed=9",
+  };
+  support::ThreadPool pool(2);
+  for (const std::string& text : specs) {
+    SCOPED_TRACE(text);
+    const graph::GeneratorSpec spec = graph::parse_generator_spec(text, 9);
+    const CsrGraph direct = graph::generate_graph(spec, pool);
+    const std::string key = graph::canonical_spec_key(spec);
+    const std::string path = graph::graph_cache_path(dir(), key);
+
+    const CsrGraph stored = graph::generate_graph_cached(spec, pool, dir());
+    EXPECT_TRUE(same_graph(stored, direct));
+    ASSERT_TRUE(fs::exists(path));
+
+    CsrGraph loaded;
+    ASSERT_TRUE(graph::load_cached_graph(path, key, &loaded));
+    EXPECT_TRUE(same_graph(loaded, direct));
+    const CsrGraph again = graph::generate_graph_cached(spec, pool, dir());
+    EXPECT_TRUE(same_graph(again, direct));
+  }
+}
+
+TEST_F(GraphCacheTest, KeyIsPartOfTheFilenameAndHeader) {
   const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
-  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
-  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+  const std::string path = hamrle_path(dir());
+  ASSERT_TRUE(graph::store_cached_graph(path, hamrle_key(), g));
 
   // Different (name, denom, seed) keys hash to different paths...
-  EXPECT_NE(graph::graph_cache_path(dir(), "Hamrle3", 32, 5), path);
-  EXPECT_NE(graph::graph_cache_path(dir(), "Hamrle3", 64, 6), path);
-  EXPECT_NE(graph::graph_cache_path(dir(), "thermal2", 64, 5), path);
+  EXPECT_NE(graph::graph_cache_path(dir(), graph::suite_cache_key("Hamrle3", 32, 5)), path);
+  EXPECT_NE(graph::graph_cache_path(dir(), graph::suite_cache_key("Hamrle3", 64, 6)), path);
+  EXPECT_NE(graph::graph_cache_path(dir(), graph::suite_cache_key("thermal2", 64, 5)), path);
 
   // ...and even a forced collision is rejected by the header check.
   CsrGraph out;
-  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 32, 5, &out));
-  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 6, &out));
-  EXPECT_FALSE(graph::load_cached_graph(path, "thermal2", 64, 5, &out));
-  EXPECT_TRUE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, graph::suite_cache_key("Hamrle3", 32, 5), &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, graph::suite_cache_key("Hamrle3", 64, 6), &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, graph::suite_cache_key("thermal2", 64, 5), &out));
+  EXPECT_TRUE(graph::load_cached_graph(path, hamrle_key(), &out));
 }
 
 TEST_F(GraphCacheTest, VersionBumpInvalidatesFile) {
   const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
-  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
-  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+  const std::string path = hamrle_path(dir());
+  ASSERT_TRUE(graph::store_cached_graph(path, hamrle_key(), g));
 
   // The version lives right after the 8-byte magic. Bump it in place.
   {
@@ -102,33 +146,74 @@ TEST_F(GraphCacheTest, VersionBumpInvalidatesFile) {
     f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
   }
   CsrGraph out;
-  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, hamrle_key(), &out));
 
   // make_suite_graph_cached treats it as a miss and rewrites a good file.
   const CsrGraph regen = graph::make_suite_graph_cached("Hamrle3", 64, 5, dir());
   EXPECT_TRUE(same_graph(regen, g));
-  ASSERT_TRUE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+  ASSERT_TRUE(graph::load_cached_graph(path, hamrle_key(), &out));
+}
+
+TEST_F(GraphCacheTest, V1LayoutFileIsRejectedByTheVersionGuard) {
+  // Reconstruct a file in the exact v1 layout (tuple key: denom/seed/name
+  // hash fields where v2 keeps key_len/key_hash) and plant it at the v2
+  // path. The version guard — version 1 at byte offset 8 — must reject it
+  // as a miss; nothing later in the header may be interpreted.
+  const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
+  const std::string path = hamrle_path(dir());
+  fs::create_directories(dir());
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    const std::uint64_t magic = 0x53504b2d43535231ULL;
+    const std::uint32_t version = 1;
+    const std::uint32_t vid_bytes = sizeof(graph::vid_t);
+    const std::uint32_t eid_bytes = sizeof(graph::eid_t);
+    const std::uint32_t denom = 64;
+    const std::uint64_t seed = 5;
+    const std::uint64_t name_hash = 0x1234abcdULL;
+    const std::uint64_t n = g.num_vertices(), m = g.num_edges();
+    f.write(reinterpret_cast<const char*>(&magic), 8);
+    f.write(reinterpret_cast<const char*>(&version), 4);
+    f.write(reinterpret_cast<const char*>(&vid_bytes), 4);
+    f.write(reinterpret_cast<const char*>(&eid_bytes), 4);
+    f.write(reinterpret_cast<const char*>(&denom), 4);
+    f.write(reinterpret_cast<const char*>(&seed), 8);
+    f.write(reinterpret_cast<const char*>(&name_hash), 8);
+    f.write(reinterpret_cast<const char*>(&n), 8);
+    f.write(reinterpret_cast<const char*>(&m), 8);
+    f.write(reinterpret_cast<const char*>(g.row_offsets().data()),
+            static_cast<std::streamsize>(g.row_offsets().size() * sizeof(graph::eid_t)));
+    f.write(reinterpret_cast<const char*>(g.col_indices().data()),
+            static_cast<std::streamsize>(g.col_indices().size() * sizeof(graph::vid_t)));
+  }
+  CsrGraph out;
+  EXPECT_FALSE(graph::load_cached_graph(path, hamrle_key(), &out));
+
+  // The stale file regenerates through the normal miss path.
+  const CsrGraph regen = graph::make_suite_graph_cached("Hamrle3", 64, 5, dir());
+  EXPECT_TRUE(same_graph(regen, g));
+  ASSERT_TRUE(graph::load_cached_graph(path, hamrle_key(), &out));
 }
 
 TEST_F(GraphCacheTest, TruncatedFileIsAMiss) {
   const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
-  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
-  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+  const std::string path = hamrle_path(dir());
+  ASSERT_TRUE(graph::store_cached_graph(path, hamrle_key(), g));
   fs::resize_file(path, fs::file_size(path) / 2);
   CsrGraph out;
-  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, hamrle_key(), &out));
 }
 
 TEST_F(GraphCacheTest, TrailingGarbageIsAMiss) {
   const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
-  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
-  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+  const std::string path = hamrle_path(dir());
+  ASSERT_TRUE(graph::store_cached_graph(path, hamrle_key(), g));
   {
     std::ofstream f(path, std::ios::binary | std::ios::app);
     f.put('\0');
   }
   CsrGraph out;
-  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, hamrle_key(), &out));
 }
 
 TEST_F(GraphCacheTest, CorruptPayloadFailsInvariantsNotAborts) {
@@ -136,8 +221,8 @@ TEST_F(GraphCacheTest, CorruptPayloadFailsInvariantsNotAborts) {
   // load_cached_graph revalidates every CSR invariant on untrusted bytes,
   // so this must come back as a miss (not trip CsrGraph's SPECKLE_CHECK).
   const CsrGraph g = graph::make_suite_graph("Hamrle3", 64, 5);
-  const std::string path = graph::graph_cache_path(dir(), "Hamrle3", 64, 5);
-  ASSERT_TRUE(graph::store_cached_graph(path, "Hamrle3", 64, 5, g));
+  const std::string path = hamrle_path(dir());
+  ASSERT_TRUE(graph::store_cached_graph(path, hamrle_key(), g));
   {
     std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
     ASSERT_TRUE(f.good());
@@ -146,7 +231,7 @@ TEST_F(GraphCacheTest, CorruptPayloadFailsInvariantsNotAborts) {
     f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
   }
   CsrGraph out;
-  EXPECT_FALSE(graph::load_cached_graph(path, "Hamrle3", 64, 5, &out));
+  EXPECT_FALSE(graph::load_cached_graph(path, hamrle_key(), &out));
 }
 
 TEST_F(GraphCacheTest, ResolveDirPrefersFlagOverEnvironment) {
